@@ -1,0 +1,33 @@
+"""Benchmark configuration: reduced scales so the suite stays minutes-long.
+
+Each benchmark regenerates one paper table/figure through its
+:mod:`repro.experiments` module at ``BENCH_SCALE`` (and, for the heavy
+grids, a reduced workload/policy subset).  ``benchmark.pedantic`` with a
+single round is used because one experiment regeneration *is* the unit
+of work being timed.
+"""
+
+import pytest
+
+from repro.sim.machine import ScaleSpec
+
+MB = 1024 * 1024
+
+#: Scale used by every experiment benchmark.
+BENCH_SCALE = ScaleSpec(
+    bytes_per_paper_gb=1 * MB,
+    accesses_per_paper_gb=30_000,
+    min_bytes=48 * MB,
+    min_accesses_per_page=60,
+)
+
+
+@pytest.fixture
+def bench_scale():
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark one invocation of ``fn`` and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,133 @@
+"""One benchmark per paper table/figure: times the regeneration and
+asserts the headline shape survives at benchmark scale."""
+
+import pytest
+
+from repro.experiments.common import load_experiment
+
+from conftest import run_once
+
+
+class TestTables:
+    def test_table1_comparison(self, benchmark):
+        result = run_once(benchmark, load_experiment("table1").run)
+        assert len(result.data["rows"]) == 9
+
+    def test_table2_characteristics(self, benchmark, bench_scale):
+        result = run_once(benchmark, load_experiment("table2").run,
+                          scale=bench_scale)
+        # RHP shape: THP-heavy benchmarks stay huge-mapped.
+        assert result.data["silo"]["sim_rhp"] > 0.9
+        assert result.data["btree"]["sim_rhp"] < 0.9
+
+    def test_table3_overallocation(self, benchmark, bench_scale):
+        result = run_once(benchmark, load_experiment("table3").run,
+                          scale=bench_scale,
+                          workloads=["pagerank", "silo", "btree"])
+        assert result.data["silo"]["sim_bytes"] >= 0
+
+
+class TestMotivationFigures:
+    def test_fig1_damon_tradeoff(self, benchmark, bench_scale):
+        result = run_once(benchmark, load_experiment("fig1").run,
+                          scale=bench_scale)
+        data = result.data
+        # Accurate config costs far more CPU than the coarse one.
+        assert data["5ms-10K-20K"]["cpu_overhead"] > \
+            3 * data["5ms-10-1000"]["cpu_overhead"]
+
+    def test_fig2_hemem_hotset(self, benchmark, bench_scale):
+        result = run_once(benchmark, load_experiment("fig2").run,
+                          scale=bench_scale, workloads=["pagerank"])
+        cell = result.data["pagerank"]
+        # HeMem's classified hot set is unrelated to DRAM size: most
+        # points sit well below the fast tier line on PageRank (Fig. 2).
+        below = sum(1 for h in cell["hot_mb"] if h < 0.6 * cell["fast_mb"])
+        assert below >= len(cell["hot_mb"]) * 0.5
+
+    def test_fig3_utilization_skew(self, benchmark, bench_scale):
+        result = run_once(benchmark, load_experiment("fig3").run,
+                          scale=bench_scale)
+        # Liblinear's hot pages are well-utilised; Silo's are not.
+        assert (result.data["liblinear"]["hot_decile_utilization"]
+                > result.data["silo"]["hot_decile_utilization"])
+
+
+class TestMainResults:
+    def test_fig5_main_comparison(self, benchmark, bench_scale):
+        result = run_once(
+            benchmark, load_experiment("fig5").run, scale=bench_scale,
+            workloads=["xsbench", "silo", "btree"],
+            policies=["tpp", "hemem", "memtis"],
+            ratios=["1:8"],
+        )
+        assert result.data["wins"] >= 2
+        overall = result.data["overall_geomean"]
+        assert overall["memtis"] >= overall["tpp"]
+
+    def test_fig6_scalability(self, benchmark, bench_scale):
+        result = run_once(
+            benchmark, load_experiment("fig6").run, scale=bench_scale,
+            rss_points=[128, 336], policies=["hemem", "memtis"],
+        )
+        for rss, cell in result.data.items():
+            assert cell["memtis"] > 0
+
+    def test_fig7_2to1(self, benchmark, bench_scale):
+        result = run_once(benchmark, load_experiment("fig7").run,
+                          scale=bench_scale, workloads=["xsbench", "silo"])
+        for cell in result.data.values():
+            # MEMTIS approaches the all-DRAM reference at 2:1 (§6.2.8).
+            assert cell["memtis"] >= 0.6 * cell["all-dram+thp"]
+
+    def test_fig8_hemem_detail(self, benchmark, bench_scale):
+        result = run_once(benchmark, load_experiment("fig8").run,
+                          scale=bench_scale, workloads=["silo"])
+        cell = result.data["silo"]
+        assert cell["memtis"] >= cell["hemem"] * 0.95
+
+
+class TestMemtisInternals:
+    def test_fig9_hotset_timeline(self, benchmark, bench_scale):
+        result = run_once(benchmark, load_experiment("fig9").run,
+                          scale=bench_scale, workloads=["xsbench"],
+                          ratios=["1:8"])
+        assert result.data["xsbench|1:8"]["fast_mb"] > 0
+
+    def test_fig10_warm_split_ablation(self, benchmark, bench_scale):
+        result = run_once(benchmark, load_experiment("fig10").run,
+                          scale=bench_scale, workloads=["silo"])
+        cell = result.data["silo"]
+        assert cell["split+warm"]["normalized"] >= \
+            cell["vanilla"]["normalized"] * 0.9
+
+    def test_fig11_split_timeline(self, benchmark, bench_scale):
+        result = run_once(benchmark, load_experiment("fig11").run,
+                          scale=bench_scale, workloads=["silo"])
+        assert result.data["silo"]["rss"]["memtis"]["splits"] >= 0
+
+    def test_fig12_hit_ratios(self, benchmark, bench_scale):
+        result = run_once(benchmark, load_experiment("fig12").run,
+                          scale=bench_scale, workloads=["silo", "graph500"])
+        # Silo: splitting closes (part of) the eHR/rHR-NS gap.
+        assert result.data["silo"]["rhr"] >= result.data["silo"]["rhr_ns"] - 0.02
+
+    def test_fig13_sensitivity(self, benchmark, bench_scale):
+        result = run_once(benchmark, load_experiment("fig13").run,
+                          scale=bench_scale, workloads=["silo"],
+                          multipliers=[0.5, 1.0, 2.0])
+        for key, series in result.data.items():
+            # Robust insensitivity (±35%) near the default (Fig. 13).
+            assert all(0.65 < v < 1.45 for v in series.values()), (key, series)
+
+    def test_fig14_cxl(self, benchmark, bench_scale):
+        result = run_once(benchmark, load_experiment("fig14").run,
+                          scale=bench_scale, workloads=["silo"],
+                          ratios=["1:8"])
+        cell = result.data["silo|1:8"]
+        assert cell["memtis"] >= cell["tpp"] * 0.95
+
+    def test_overheads(self, benchmark, bench_scale):
+        result = run_once(benchmark, load_experiment("overheads").run,
+                          scale=bench_scale, workloads=["silo", "654.roms"])
+        assert result.data["average_usage"] < 0.05

@@ -1,0 +1,105 @@
+"""Micro-benchmarks of the hot primitives (regression tracking).
+
+These time the pieces that dominate simulation wall-clock: histogram
+updates, PEBS sample extraction, TLB simulation, the vectorised batch
+cost path, and `ksampled` sample processing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MemtisConfig
+from repro.core.histogram import AccessHistogram, bin_of_array
+from repro.core.sampler import KSampled
+from repro.mem.tlb import TLB, TLBConfig
+from repro.pebs.events import AccessBatch
+from repro.pebs.sampler import PEBSSampler, SamplerConfig, SampleBatch
+from repro.policies.static import AllFastPolicy
+from repro.sim.engine import Simulation
+from repro.sim.machine import MachineSpec
+from repro.workloads.silo import SiloWorkload
+
+import sys
+import os
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from conftest import run_once  # noqa: E402
+
+MB = 1024 * 1024
+
+
+class TestHistogramOps:
+    def test_bin_of_array_1m(self, benchmark):
+        hotness = np.random.default_rng(0).integers(1, 1 << 20, 1_000_000)
+        result = benchmark(bin_of_array, hotness)
+        assert result.max() <= 15
+
+    def test_rebuild_1m_pages(self, benchmark):
+        rng = np.random.default_rng(0)
+        bins = rng.integers(0, 16, 1_000_000)
+        weights = np.ones(1_000_000, dtype=np.int64)
+        hist = AccessHistogram()
+        benchmark(hist.rebuild, bins, weights)
+        assert hist.total_pages == 1_000_000
+
+
+class TestSamplerOps:
+    def test_sample_extraction_1m_events(self, benchmark):
+        sampler = PEBSSampler(SamplerConfig(load_period=200))
+        batch = AccessBatch.loads(
+            np.random.default_rng(0).integers(0, 100_000, 1_000_000)
+        )
+        samples = benchmark(sampler.sample, batch)
+        assert len(samples) > 0
+
+
+class TestTLBOps:
+    def test_substream_64k(self, benchmark):
+        tlb = TLB(TLBConfig(sample_stride=1))
+        vpns = np.random.default_rng(0).integers(0, 50_000, 65_536)
+        is_huge = np.zeros(len(vpns), dtype=bool)
+        benchmark.pedantic(tlb.access_substream, args=(vpns, is_huge),
+                           rounds=1, iterations=1)
+        assert tlb.stats.lookups == 65_536
+
+
+class TestKsampledHotPath:
+    def test_process_10k_samples(self, benchmark):
+        from conftest import BENCH_SCALE  # noqa: F401
+        from repro.mem.address_space import AddressSpace
+        from repro.mem.migration import MigrationEngine
+        from repro.mem.tiers import TieredMemory, dram_spec, nvm_spec
+        from repro.policies.base import PolicyContext
+
+        tiers = TieredMemory.build(dram_spec(16 * MB), nvm_spec(96 * MB))
+        space = AddressSpace(tiers)
+        ctx = PolicyContext(
+            space=space, tiers=tiers,
+            migrator=MigrationEngine(space), tlb=TLB(),
+            machine=MachineSpec(fast_bytes=16 * MB, capacity_bytes=96 * MB),
+            rng=np.random.default_rng(0),
+        )
+        config = MemtisConfig().resolved(16 * MB, 112 * MB)
+        ks = KSampled(config, ctx)
+        region = space.alloc_region(64 * MB)
+        ks.on_region_alloc(region)
+        vpns = np.random.default_rng(1).integers(
+            region.base_vpn, region.end_vpn, 10_000
+        )
+        samples = SampleBatch(vpns, np.zeros(len(vpns), dtype=bool))
+        run_once(benchmark, ks.process_samples, samples)
+        assert ks.total_samples == 10_000
+
+
+class TestEndToEndThroughput:
+    def test_engine_1m_accesses(self, benchmark):
+        """Raw simulator throughput: accesses simulated per second."""
+        def run():
+            sim = Simulation(
+                SiloWorkload(total_bytes=48 * MB, total_accesses=1_000_000),
+                AllFastPolicy(),
+                MachineSpec(fast_bytes=64 * MB, capacity_bytes=64 * MB),
+            )
+            return sim.run()
+
+        result = run_once(benchmark, run)
+        assert result.metrics.total_accesses >= 1_000_000

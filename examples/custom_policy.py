@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Write your own tiering policy against the simulator API.
+
+Implements a ~40-line "frequency-threshold" policy from scratch -- PEBS
+sampling, a fixed hot bar, background promotion -- and races it against
+MEMTIS and the no-tiering baseline.  Use this as the template for
+experimenting with your own placement ideas.
+
+Usage::
+
+    python examples/custom_policy.py [--quick]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.mem.pages import BASE_PAGE_SIZE, HUGE_PAGE_SIZE
+from repro.mem.tiers import TierKind
+from repro.pebs.sampler import SamplerConfig
+from repro.policies.base import BatchObservation, TieringPolicy, Traits
+from repro.sim.engine import Simulation
+from repro.sim.machine import DEFAULT_SCALE, MachineSpec, ScaleSpec
+from repro.sim.runner import run_baseline, normalized_performance
+from repro.workloads.registry import make_workload
+from repro.policies.registry import make_policy
+
+QUICK_SCALE = ScaleSpec(
+    bytes_per_paper_gb=1024 * 1024,
+    accesses_per_paper_gb=40_000,
+    min_bytes=48 * 1024 * 1024,
+    min_accesses_per_page=60,
+)
+
+
+class FrequencyThresholdPolicy(TieringPolicy):
+    """Promote any page sampled ``hot_after`` times; demote the coldest.
+
+    Deliberately simple: a static threshold, exactly the design the
+    paper argues against -- compare its hit ratio with MEMTIS's.
+    """
+
+    name = "freq-threshold"
+    uses_pebs = True
+    traits = Traits(
+        mechanism="HW-based sampling",
+        subpage_tracking=False,
+        promotion_metric="frequency",
+        demotion_metric="frequency",
+        threshold_criteria="static access count",
+        critical_path_migration="none",
+        page_size_handling="none",
+    )
+
+    def __init__(self, hot_after: int = 6, period_ns: float = 2e6):
+        super().__init__()
+        self.hot_after = hot_after
+        self.period_ns = period_ns
+        self._count = None
+        self._pending = set()
+        self._next_tick = 0.0
+
+    def sampler_config(self):
+        return SamplerConfig(load_period=200, store_period=100_000)
+
+    def bind(self, ctx):
+        super().bind(ctx)
+        self._count = np.zeros(ctx.space.num_vpns, dtype=np.int32)
+
+    def on_batch(self, obs: BatchObservation) -> float:
+        if obs.samples is None or not len(obs.samples):
+            return 0.0
+        space = self.ctx.space
+        vpns = obs.samples.vpn
+        heads = np.where(space.page_huge[vpns], (vpns >> 9) << 9, vpns)
+        np.add.at(self._count, heads, 1)
+        hot = heads[self._count[heads] >= self.hot_after]
+        for vpn in np.unique(hot).tolist():
+            if space.page_tier[vpn] == int(TierKind.CAPACITY):
+                self._pending.add(int(vpn))
+        return 0.0  # background-only, like MEMTIS
+
+    def on_tick(self, now_ns: float) -> None:
+        if now_ns < self._next_tick:
+            return
+        self._next_tick = now_ns + self.period_ns
+        space, tiers = self.ctx.space, self.ctx.tiers
+        for vpn in sorted(self._pending):
+            if space.page_tier[vpn] != int(TierKind.CAPACITY):
+                continue
+            nbytes = HUGE_PAGE_SIZE if space.page_huge[vpn] else BASE_PAGE_SIZE
+            if not tiers.fast.can_alloc(nbytes):
+                self._demote_coldest(nbytes)
+            if not tiers.fast.can_alloc(nbytes):
+                break
+            self.ctx.migrator.migrate_page(vpn, TierKind.FAST, critical=False)
+        self._pending.clear()
+
+    def _demote_coldest(self, nbytes_needed: int) -> None:
+        space = self.ctx.space
+        fast = np.flatnonzero(space.page_tier == int(TierKind.FAST))
+        if not len(fast):
+            return
+        heads = np.unique(np.where(space.page_huge[fast], (fast >> 9) << 9, fast))
+        cold = heads[self._count[heads] < self.hot_after]
+        freed = 0
+        for vpn in cold[np.argsort(self._count[cold])].tolist():
+            if freed >= nbytes_needed:
+                break
+            nbytes = HUGE_PAGE_SIZE if space.page_huge[vpn] else BASE_PAGE_SIZE
+            self.ctx.migrator.migrate_page(vpn, TierKind.CAPACITY, critical=False)
+            freed += nbytes
+
+    def on_unmap(self, base_vpn, num_vpns):
+        if self._count is not None:
+            self._count[base_vpn : base_vpn + num_vpns] = 0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--workload", default="xsbench")
+    args = parser.parse_args()
+    scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
+
+    baseline = run_baseline(args.workload, ratio="1:8", scale=scale)
+    rows = []
+    for label, policy in [
+        ("freq-threshold (custom)", FrequencyThresholdPolicy()),
+        ("memtis", make_policy("memtis")),
+    ]:
+        print(f"running {label} ...")
+        workload = make_workload(args.workload, scale)
+        machine = MachineSpec.from_ratio(workload.total_bytes, ratio="1:8")
+        result = Simulation(workload, policy, machine).run()
+        rows.append([label, normalized_performance(result, baseline),
+                     f"{result.fast_hit_ratio * 100:.1f}%",
+                     result.migration.traffic_bytes / 1e6])
+
+    print()
+    print(format_table(
+        ["Policy", "Normalised perf", "Hit ratio", "Traffic (MB)"],
+        rows,
+        title=f"Custom policy vs MEMTIS on {args.workload} @ 1:8",
+    ))
+
+
+if __name__ == "__main__":
+    main()

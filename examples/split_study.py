@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Deep dive into skewness-aware huge-page splitting (§4.3).
+
+Walks through the split machinery on two contrasting workloads:
+
+* **Silo** -- zipfian lookups whose hot 4 KiB pages are scattered across
+  every huge page (Fig. 3b): the estimated base-page hit ratio (eHR) far
+  exceeds the measured hit ratio (rHR), so MEMTIS splinters the most
+  skewed huge pages and promotes only the hot subpages;
+* **Liblinear** -- the hot rows are contiguous (Fig. 3a): hot huge pages
+  are uniformly hot, eHR ~ rHR, and MEMTIS leaves huge pages alone.
+
+Usage::
+
+    python examples/split_study.py [--quick]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.split import skewness_factors, utilization_factors
+from repro.mem.pages import SUBPAGES_PER_HUGE, hpn_to_vpn
+from repro.sim.machine import DEFAULT_SCALE, ScaleSpec
+from repro.sim.runner import build_simulation
+
+QUICK_SCALE = ScaleSpec(
+    bytes_per_paper_gb=1024 * 1024,
+    accesses_per_paper_gb=40_000,
+    min_bytes=48 * 1024 * 1024,
+    min_accesses_per_page=60,
+)
+
+
+def study(workload_name: str, scale) -> list:
+    sim = build_simulation(workload_name, "memtis", ratio="1:8", scale=scale)
+    result = sim.run()
+    ks = sim.policy.ksampled
+
+    # Reconstruct the skewness statistics MEMTIS computed internally.
+    hpns = sim.space.mapped_huge_hpns()
+    counts = ks.meta.huge_count[hpns]
+    accessed = hpns[counts > 0]
+    threshold = 1 << ks.base_thresholds.hot
+    if len(accessed):
+        heads = hpn_to_vpn(accessed)
+        sub = np.stack(
+            [ks.meta.sub_count[h : h + SUBPAGES_PER_HUGE] for h in heads.tolist()]
+        )
+        skew = skewness_factors(sub, threshold)
+        util = utilization_factors(sub, threshold)
+        mean_util = float(util[util > 0].mean()) if (util > 0).any() else 0.0
+    else:
+        skew = np.zeros(0)
+        mean_util = 0.0
+
+    return [
+        workload_name,
+        f"{result.policy_stats['ehr'] * 100:.1f}%",
+        f"{result.policy_stats['rhr'] * 100:.1f}%",
+        int(result.policy_stats["splits"]),
+        f"{mean_util:.1f}/512",
+        f"{skew.max():.2e}" if len(skew) else "-",
+        f"{result.fast_hit_ratio * 100:.1f}%",
+    ]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+    scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
+
+    rows = []
+    for name in ("silo", "liblinear"):
+        print(f"running memtis on {name} ...")
+        rows.append(study(name, scale))
+
+    print()
+    print(format_table(
+        ["Workload", "eHR", "rHR", "splits", "mean utilisation",
+         "max skewness", "overall hit ratio"],
+        rows,
+        title="Skewness-aware splitting: scattered (silo) vs contiguous "
+              "(liblinear) hot pages",
+    ))
+    print(
+        "\nReading: silo's big eHR-rHR gap and low utilisation trigger\n"
+        "splits; liblinear's contiguous hot rows keep huge pages intact."
+    )
+
+
+if __name__ == "__main__":
+    main()

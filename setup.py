@@ -1,0 +1,7 @@
+"""Legacy shim: enables `python setup.py develop` on environments whose
+setuptools predates PEP 660 editable installs (no `wheel` available).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro: a faithful simulation-scale reproduction of MEMTIS (SOSP 2023).
+
+MEMTIS is a tiered-memory system that (1) classifies pages as hot, warm
+or cold from the *full access-frequency distribution* (a 16-bin
+exponential histogram) instead of static thresholds, and (2) decides
+page sizes dynamically, splitting huge pages whose subpage accesses are
+highly skewed so only the hot subpages occupy fast memory.
+
+Quick start::
+
+    from repro import run_normalized
+
+    out = run_normalized("silo", "memtis", ratio="1:8")
+    print(out["normalized"])           # speedup vs the all-NVM baseline
+    print(out["result"].fast_hit_ratio)
+
+Public surface:
+
+* :func:`repro.sim.runner.run_experiment` / :func:`run_normalized` --
+  one-call experiments by workload/policy name;
+* :class:`repro.sim.engine.Simulation` -- the engine, for custom setups;
+* :class:`repro.core.MemtisPolicy` and :mod:`repro.policies` -- MEMTIS
+  and the six baselines;
+* :mod:`repro.workloads` -- the eight synthetic benchmarks;
+* :mod:`repro.experiments` -- regenerators for every paper table/figure.
+"""
+
+from repro.core import MemtisConfig, MemtisPolicy
+from repro.policies import make_policy, policy_names
+from repro.sim import (
+    MachineSpec,
+    ScaleSpec,
+    SimResult,
+    Simulation,
+    run_experiment,
+    run_normalized,
+)
+from repro.workloads import make_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MemtisConfig",
+    "MemtisPolicy",
+    "make_policy",
+    "policy_names",
+    "MachineSpec",
+    "ScaleSpec",
+    "SimResult",
+    "Simulation",
+    "run_experiment",
+    "run_normalized",
+    "make_workload",
+    "workload_names",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""Result formatting: plain-text tables and ASCII charts.
+
+The experiment harness is terminal-first (no plotting dependencies):
+every figure is rendered as an ASCII bar chart / heat map plus the raw
+series, and every table as an aligned text table.
+"""
+
+from repro.analysis.tables import format_table
+from repro.analysis.ascii import bar_chart, heatmap, timeline_chart
+
+__all__ = ["format_table", "bar_chart", "heatmap", "timeline_chart"]

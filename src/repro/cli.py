@@ -1,0 +1,137 @@
+"""Top-level command line: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``      -- one workload x policy configuration, with the
+                  normalised-performance summary;
+* ``list``     -- available workloads, policies, experiments;
+* ``trace``    -- record a workload's event stream to a ``.npz`` file or
+                  replay a recorded trace under a policy.
+
+The per-figure regenerators live under ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import EXPERIMENT_REGISTRY
+from repro.policies.registry import policy_names
+from repro.sim.machine import DEFAULT_SCALE, MachineSpec, ScaleSpec
+from repro.sim.runner import run_baseline, run_experiment, normalized_performance
+from repro.workloads.registry import make_workload, workload_names
+
+QUICK_SCALE = ScaleSpec(
+    bytes_per_paper_gb=1024 * 1024,
+    accesses_per_paper_gb=40_000,
+    min_bytes=48 * 1024 * 1024,
+    min_accesses_per_page=60,
+)
+
+
+def _scale(args) -> ScaleSpec:
+    return QUICK_SCALE if getattr(args, "quick", False) else DEFAULT_SCALE
+
+
+def cmd_run(args) -> int:
+    scale = _scale(args)
+    kind = "cxl" if args.cxl else "nvm"
+    print(f"running {args.policy} on {args.workload} "
+          f"@ {args.ratio} ({kind}) ...")
+    result = run_experiment(args.workload, args.policy, ratio=args.ratio,
+                            capacity_kind=kind, scale=scale, seed=args.seed)
+    rows = [
+        ["simulated runtime", f"{result.runtime_ns / 1e6:.1f} ms"],
+        ["fast-tier hit ratio", f"{result.fast_hit_ratio * 100:.1f}%"],
+        ["migration traffic", f"{result.migration.traffic_bytes / 1e6:.1f} MB"],
+        ["huge-page splits", f"{result.migration.splits}"],
+        ["TLB miss ratio", f"{result.tlb.miss_ratio * 100:.1f}%"],
+        ["final RSS", f"{result.final_rss_bytes / 1e6:.1f} MB"],
+    ]
+    if not args.no_baseline:
+        baseline = run_baseline(args.workload, ratio=args.ratio,
+                                capacity_kind=kind, scale=scale,
+                                seed=args.seed)
+        rows.insert(0, ["normalised performance",
+                        f"{normalized_performance(result, baseline):.3f}x"])
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def cmd_list(_args) -> int:
+    print("workloads:   " + ", ".join(workload_names()))
+    print("policies:    " + ", ".join(policy_names()))
+    print("ratios:      1:2, 1:8, 1:16, 2:1")
+    print("experiments: " + ", ".join(sorted(EXPERIMENT_REGISTRY))
+          + "   (python -m repro.experiments <id>)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.workloads.trace import TraceWorkload, record_trace
+
+    if args.record:
+        workload = make_workload(args.workload, _scale(args))
+        stats = record_trace(workload, args.record, seed=args.seed)
+        print(f"recorded {stats['accesses']} accesses "
+              f"({stats['events']} events) to {args.record}")
+        return 0
+    if args.replay:
+        from repro.policies.registry import make_policy
+        from repro.sim.engine import Simulation
+
+        workload = TraceWorkload(args.replay)
+        machine = MachineSpec.from_ratio(workload.total_bytes, ratio=args.ratio)
+        sim = Simulation(workload, make_policy(args.policy), machine,
+                         seed=args.seed)
+        result = sim.run()
+        print(f"replayed {result.metrics.total_accesses} accesses under "
+              f"{args.policy}: hit ratio {result.fast_hit_ratio * 100:.1f}%, "
+              f"runtime {result.runtime_ns / 1e6:.1f} ms")
+        return 0
+    print("trace: pass --record PATH or --replay PATH", file=sys.stderr)
+    return 2
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command")
+
+    p_run = sub.add_parser("run", help="run one workload x policy")
+    p_run.add_argument("workload", choices=workload_names())
+    p_run.add_argument("policy", choices=policy_names())
+    p_run.add_argument("--ratio", default="1:8",
+                       choices=["1:2", "1:8", "1:16", "2:1"])
+    p_run.add_argument("--cxl", action="store_true",
+                       help="CXL capacity tier instead of NVM")
+    p_run.add_argument("--quick", action="store_true")
+    p_run.add_argument("--seed", type=int, default=42)
+    p_run.add_argument("--no-baseline", action="store_true",
+                       help="skip the all-capacity normalisation run")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_list = sub.add_parser("list", help="list workloads/policies/experiments")
+    p_list.set_defaults(fn=cmd_list)
+
+    p_trace = sub.add_parser("trace", help="record or replay a trace")
+    p_trace.add_argument("--workload", default="silo", choices=workload_names())
+    p_trace.add_argument("--policy", default="memtis", choices=policy_names())
+    p_trace.add_argument("--ratio", default="1:8")
+    p_trace.add_argument("--record", metavar="PATH")
+    p_trace.add_argument("--replay", metavar="PATH")
+    p_trace.add_argument("--quick", action="store_true")
+    p_trace.add_argument("--seed", type=int, default=42)
+    p_trace.set_defaults(fn=cmd_trace)
+
+    args = parser.parse_args(argv)
+    if not getattr(args, "fn", None):
+        parser.print_help()
+        return 0
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""MEMTIS: the paper's contribution.
+
+* :mod:`repro.core.config` -- every tunable with its paper default;
+* :mod:`repro.core.histogram` -- the 16-bin exponential access histogram
+  with cooling-by-shift (§4.1.3, §4.2.2);
+* :mod:`repro.core.thresholds` -- Algorithm 1's hot/warm/cold adaptation;
+* :mod:`repro.core.sampler` -- `ksampled`: PEBS record processing, page
+  metadata, both histograms, rHR/eHR accounting, dynamic sampling period;
+* :mod:`repro.core.split` -- split benefit estimation (Eq. 2), skewness
+  factor (Eq. 3), candidate selection;
+* :mod:`repro.core.migrator` -- `kmigrated`: background promotion /
+  demotion / cooling / huge-page split and collapse;
+* :mod:`repro.core.policy` -- :class:`MemtisPolicy`, the composition that
+  plugs into the simulator like any baseline.
+"""
+
+from repro.core.config import MemtisConfig
+from repro.core.histogram import NUM_BINS, AccessHistogram, bin_of, bin_of_array
+from repro.core.thresholds import Thresholds, adapt_thresholds
+from repro.core.policy import MemtisPolicy
+
+__all__ = [
+    "MemtisConfig",
+    "NUM_BINS",
+    "AccessHistogram",
+    "bin_of",
+    "bin_of_array",
+    "Thresholds",
+    "adapt_thresholds",
+    "MemtisPolicy",
+]

@@ -1,0 +1,325 @@
+"""`kmigrated`: MEMTIS's background migration daemon (§4.2.3, §4.3.3).
+
+One instance stands in for the paper's per-memory-node pair of kernel
+threads.  Woken periodically, it:
+
+* **promotes** queued hot pages from the capacity tier while the fast
+  tier has free space;
+* **demotes** when fast-tier free space falls below the 2% headroom:
+  cold pages first, then -- only if pressure persists -- warm pages, so
+  as many warm pages as possible stay in DRAM (the Fig. 10 ablation
+  disables this protection);
+* **splits** queued huge pages: each subpage is classified hot/cold by
+  its subpage hotness against the base histogram's threshold, all-zero
+  (never touched) subpages are freed outright, and the pieces are placed
+  on their proper tiers;
+* **collapses** previously split ranges back into a huge page when every
+  constituent base page is hot (§4.3.3 -- rare by design).
+
+Everything here runs off the critical path: migration nanoseconds are
+charged to the background budget, never to the application.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import numpy as np
+
+from repro.core.config import MemtisConfig
+from repro.core.sampler import KSampled
+from repro.core.split import (
+    SplitDecision,
+    choose_split_candidates,
+    num_splits,
+    split_benefit,
+)
+from repro.mem.pages import (
+    BASE_PAGE_SIZE,
+    HUGE_PAGE_SIZE,
+    SUBPAGES_PER_HUGE,
+    hpn_to_vpn,
+)
+from repro.mem.tiers import TierKind
+from repro.policies.base import PolicyContext, scaled_headroom
+
+
+class KMigrated:
+    """Background promotion/demotion/split/collapse."""
+
+    MAX_SPLITS_PER_TICK = 64
+
+    def __init__(self, config: MemtisConfig, ctx: PolicyContext, ksampled: KSampled):
+        self.config = config
+        self.ctx = ctx
+        self.ksampled = ksampled
+        self._next_tick_ns = 0.0
+        self.split_queue: List[int] = []
+        self.split_hpns: Set[int] = set()
+        self.splits_done = 0
+        self.collapses_done = 0
+        self.split_rounds_triggered = 0
+        self._benefit_streak = 0
+        #: Last benefit-estimation outcome, for introspection/debugging.
+        self.last_decision: SplitDecision = SplitDecision(
+            ehr=0.0, rhr=0.0, benefit=0.0, n_splits=0, candidates=[]
+        )
+
+    # -- periodic wakeup ------------------------------------------------------------
+
+    def tick(self, now_ns: float) -> None:
+        if now_ns < self._next_tick_ns:
+            return
+        self._next_tick_ns = now_ns + self.config.kmigrated_period_ns
+        self._process_split_queue()
+        self._promote()
+        self._demote_if_needed()
+        if self.config.enable_collapse:
+            self._maybe_collapse()
+
+    # -- promotion --------------------------------------------------------------------
+
+    def _promote(self) -> None:
+        """Move queued hot capacity-tier pages into free fast-tier space."""
+        queue = self.ksampled.promotion_queue
+        if not queue:
+            return
+        space = self.ctx.space
+        tiers = self.ctx.tiers
+        headroom = int(tiers.fast.capacity_bytes * self.config.free_space_fraction)
+        reps = np.fromiter(queue, dtype=np.int64)
+        # Hottest first: promote the most valuable pages into what fits.
+        order = np.argsort(-self.ksampled.main_bin[reps], kind="stable")
+        migrator = self.ctx.migrator
+        t_hot = self.ksampled.thresholds.hot
+        for rep in reps[order].tolist():
+            if space.page_tier[rep] != int(TierKind.CAPACITY):
+                queue.discard(rep)
+                continue
+            rep_bin = int(self.ksampled.main_bin[rep])
+            if rep_bin < t_hot:
+                # Enqueued under a stale (lower) threshold; no longer hot.
+                queue.discard(rep)
+                continue
+            nbytes = HUGE_PAGE_SIZE if space.page_huge[rep] else BASE_PAGE_SIZE
+            if tiers.fast.free_bytes < nbytes:
+                # Make room by demoting *strictly colder* pages only --
+                # "where there are no cold pages in the fast tier and
+                # MEMTIS needs to secure free space ... it proceeds to
+                # demote warm pages" (§4.2.1).  The strict ordering makes
+                # every exchange raise the fast tier's total hotness, so
+                # promotion converges instead of thrashing.
+                self._demote(
+                    nbytes - tiers.fast.free_bytes,
+                    allow_warm=True,
+                    max_bin=rep_bin,
+                )
+                if tiers.fast.free_bytes < nbytes:
+                    break
+            migrator.migrate_page(rep, TierKind.FAST, critical=False)
+            queue.discard(rep)
+
+    # -- demotion -------------------------------------------------------------------------
+
+    def _fast_tier_reps(self) -> np.ndarray:
+        space = self.ctx.space
+        reps = np.flatnonzero(
+            (self.ksampled.main_weight > 0)
+            & (space.page_tier == int(TierKind.FAST))
+        )
+        return reps
+
+    def _demote_if_needed(self) -> None:
+        """Restore the 2% free-space headroom (§4.2.3)."""
+        tiers = self.ctx.tiers
+        target = scaled_headroom(
+            tiers.fast.capacity_bytes, self.config.free_space_fraction
+        )
+        if tiers.fast.free_bytes >= target:
+            return
+        self._demote(target - tiers.fast.free_bytes, allow_warm=True)
+
+    def _demote(self, need: int, allow_warm: bool, max_bin: int = None) -> None:
+        """Demote ``need`` bytes: cold pages first, warm only if allowed.
+
+        ``max_bin`` restricts victims to pages strictly colder than that
+        bin (used by promotion-driven demotion).  With the warm set
+        disabled (Fig. 10's vanilla ablation) every non-hot page is fair
+        game in address order -- near-hot pages get demoted and promptly
+        promoted back, inflating migration traffic.
+        """
+        reps = self._fast_tier_reps()
+        if len(reps) == 0:
+            return
+        bins = self.ksampled.main_bin[reps]
+        if max_bin is not None:
+            keep = bins < max_bin
+            reps = reps[keep]
+            bins = bins[keep]
+            if len(reps) == 0:
+                return
+        t = self.ksampled.thresholds
+
+        if self.config.enable_warm_set:
+            cold_mask = bins < t.cold
+            cold = reps[cold_mask]
+            order_cold = np.argsort(bins[cold_mask], kind="stable")
+            candidates = cold[order_cold]
+            if allow_warm:
+                warm_mask = (bins >= t.cold) & (bins < t.hot)
+                warm = reps[warm_mask]
+                order_warm = np.argsort(bins[warm_mask], kind="stable")
+                candidates = np.concatenate([candidates, warm[order_warm]])
+        else:
+            candidates = reps[bins < t.hot]
+
+        space = self.ctx.space
+        migrator = self.ctx.migrator
+        for rep in candidates.tolist():
+            if need <= 0:
+                break
+            if space.page_tier[rep] != int(TierKind.FAST):
+                continue
+            nbytes = HUGE_PAGE_SIZE if space.page_huge[rep] else BASE_PAGE_SIZE
+            migrator.migrate_page(rep, TierKind.CAPACITY, critical=False)
+            need -= nbytes
+
+    # -- huge page split (§4.3) ---------------------------------------------------------------
+
+    def consider_split(self, ehr: float, rhr: float) -> int:
+        """One benefit-estimation round; returns huge pages enqueued."""
+        if not self.config.enable_split:
+            return 0
+        # Long-term trends only (§3): no split decisions before the first
+        # cooling pass has aged out the initial placement transient.
+        if self.ksampled.coolings_requested < 1:
+            return 0
+        benefit = split_benefit(ehr, rhr)
+        if benefit < self.config.min_split_benefit:
+            self._benefit_streak = 0
+            return 0
+        # "MEMTIS makes the split decision after observing long-term page
+        # access trends" (§3): require the benefit to persist across two
+        # consecutive estimation windows, filtering transient gaps while
+        # the placement is still converging.
+        self._benefit_streak += 1
+        if self._benefit_streak < 2:
+            return 0
+        space = self.ctx.space
+        hpns = space.mapped_huge_hpns()
+        if len(hpns) == 0:
+            return 0
+        counts = self.ksampled.meta.huge_count[hpns]
+        accessed = hpns[counts > 0]
+        if len(accessed) == 0:
+            return 0
+        avg_samples_hp = float(counts[counts > 0].mean())
+        nr_samples = int(counts[counts > 0].sum())
+        tiers = self.ctx.tiers
+        n = num_splits(
+            benefit=benefit,
+            latency_fast_ns=tiers.fast.spec.load_latency_ns,
+            latency_cap_ns=tiers.capacity.spec.load_latency_ns,
+            nr_samples=nr_samples,
+            avg_samples_hp=avg_samples_hp,
+            beta=self.config.split_beta,
+        )
+        if n <= 0:
+            return 0
+        sub = self.ksampled.meta.sub_count
+        heads = hpn_to_vpn(accessed)
+        sub_counts = np.stack(
+            [sub[h : h + SUBPAGES_PER_HUGE] for h in heads.tolist()]
+        )
+        threshold_hotness = max(1, self.ksampled.base_cut_hotness)
+        picked = choose_split_candidates(
+            accessed, sub_counts, threshold_hotness, n, comp=self.ksampled.comp
+        )
+        queued = [h for h in picked if h not in self.split_hpns]
+        self.split_queue.extend(queued)
+        self.split_hpns.update(queued)
+        self.last_decision = SplitDecision(
+            ehr=ehr, rhr=rhr, benefit=benefit, n_splits=n, candidates=picked
+        )
+        if queued:
+            self.split_rounds_triggered += 1
+        return len(queued)
+
+    def _process_split_queue(self) -> None:
+        space = self.ctx.space
+        budget = self.MAX_SPLITS_PER_TICK
+        while self.split_queue and budget > 0:
+            hpn = self.split_queue.pop(0)
+            head = hpn_to_vpn(hpn)
+            if not space.page_huge[head]:
+                continue  # raced with free/remap
+            self._split_one(hpn)
+            budget -= 1
+
+    def _split_one(self, hpn: int) -> None:
+        """Classify subpages, free zero pages, migrate the hot ones."""
+        space = self.ctx.space
+        tiers = self.ctx.tiers
+        head = hpn_to_vpn(hpn)
+        sub_hot = (
+            self.ksampled.meta.sub_count[head : head + SUBPAGES_PER_HUGE]
+            * self.ksampled.comp
+            >= max(1, self.ksampled.base_cut_hotness)
+        )
+        touched = space.touched[head : head + SUBPAGES_PER_HUGE]
+        headroom = scaled_headroom(
+            tiers.fast.capacity_bytes, self.config.free_space_fraction
+        )
+
+        subpage_tiers = []
+        fast_budget = tiers.fast.free_bytes - headroom // 2
+        src_fast = space.page_tier[head] == int(TierKind.FAST)
+        for j in range(SUBPAGES_PER_HUGE):
+            if not touched[j]:
+                subpage_tiers.append(None)  # all-zero: unmap and free
+                continue
+            if sub_hot[j]:
+                if src_fast:
+                    subpage_tiers.append(TierKind.FAST)
+                elif fast_budget >= BASE_PAGE_SIZE:
+                    subpage_tiers.append(TierKind.FAST)
+                    fast_budget -= BASE_PAGE_SIZE
+                else:
+                    subpage_tiers.append(TierKind.CAPACITY)
+            else:
+                subpage_tiers.append(TierKind.CAPACITY)
+        kept_mask = np.array([t is not None for t in subpage_tiers], dtype=bool)
+        self.ctx.migrator.split_huge(hpn, subpage_tiers, critical=False)
+        self.ksampled.on_split(hpn, kept_mask)
+        self.splits_done += 1
+
+    # -- coalescing (§4.3.3, conservative) ---------------------------------------------------
+
+    def _maybe_collapse(self) -> None:
+        """Coalesce a split range back when *all* subpages are hot."""
+        space = self.ctx.space
+        threshold_hotness = max(1, self.ksampled.base_cut_hotness)
+        for hpn in list(self.split_hpns):
+            head = hpn_to_vpn(hpn)
+            sl = slice(head, head + SUBPAGES_PER_HUGE)
+            if space.page_huge[head]:
+                self.split_hpns.discard(hpn)  # already huge again
+                continue
+            if np.any(space.page_tier[sl] < 0):
+                continue  # freed subpages: cannot coalesce
+            hotness = self.ksampled.meta.sub_count[sl] * self.ksampled.comp
+            if not np.all(hotness >= threshold_hotness):
+                continue
+            if not self.ctx.tiers.fast.can_alloc(HUGE_PAGE_SIZE):
+                continue
+            self.ctx.migrator.collapse_huge(hpn, TierKind.FAST, critical=False)
+            self.ksampled.on_collapse(hpn)
+            self.split_hpns.discard(hpn)
+            self.collapses_done += 1
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "splits": float(self.splits_done),
+            "collapses": float(self.collapses_done),
+            "split_queue": float(len(self.split_queue)),
+        }

@@ -1,0 +1,128 @@
+"""Skewness-aware huge-page split decisions (§4.3).
+
+Three pieces:
+
+* **Benefit estimation** (§4.3.1): the gap ``eHR - rHR`` between the
+  estimated hit ratio of a hypothetical all-base-pages placement and the
+  measured fast-tier hit ratio.  Splitting is considered only when the
+  gap exceeds 5%.
+* **Split count** (Eq. 2): how many huge pages to split this round --
+  proportional to the benefit, the relative latency gap between tiers,
+  and the number of distinct huge pages being accessed::
+
+      N_s = min((eHR - rHR) * (AL / L_fast) * (nr_samples * beta / avg_samples_hp),
+                nr_samples / avg_samples_hp)
+
+* **Skewness factor** (Eq. 3): ``S_i = sum_j H_ij^2 / U_i^2`` where
+  ``U_i`` is the number of hot subpages -- squaring both makes a
+  concentrated (skewed) huge page score far above a uniformly hot one.
+  The top-``N_s`` most skewed accessed huge pages are split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.mem.pages import SUBPAGES_PER_HUGE
+
+
+def split_benefit(ehr: float, rhr: float) -> float:
+    """Potential hit-ratio gain of abandoning huge pages (>= 0)."""
+    return max(0.0, ehr - rhr)
+
+
+def num_splits(
+    benefit: float,
+    latency_fast_ns: float,
+    latency_cap_ns: float,
+    nr_samples: int,
+    avg_samples_hp: float,
+    beta: float = 0.4,
+) -> int:
+    """Eq. 2: the number of huge pages to split this estimation round."""
+    if benefit <= 0 or nr_samples <= 0 or avg_samples_hp <= 0:
+        return 0
+    latency_ratio = (latency_cap_ns - latency_fast_ns) / latency_fast_ns
+    distinct_hp = nr_samples / avg_samples_hp
+    want = benefit * latency_ratio * (nr_samples * beta / avg_samples_hp)
+    return int(min(want, distinct_hp))
+
+
+def skewness_factors(
+    sub_counts: np.ndarray,
+    hot_subpage_threshold_hotness: int,
+    comp: int = SUBPAGES_PER_HUGE,
+) -> np.ndarray:
+    """Eq. 3 for a batch of huge pages.
+
+    ``sub_counts`` has shape ``(num_hpns, 512)`` (raw subpage access
+    counts).  ``hot_subpage_threshold_hotness`` is the hotness value of
+    the base histogram's hot threshold (``2^T_hot_base``); a subpage is
+    *utilised* when its compensated hotness ``C * 512`` reaches it.
+
+    Returns float64 skewness per huge page; pages with zero utilisation
+    get skewness 0 (nothing hot to save by splitting them).
+    """
+    if sub_counts.ndim != 2 or sub_counts.shape[1] != SUBPAGES_PER_HUGE:
+        raise ValueError("sub_counts must be (num_hpns, 512)")
+    hotness = sub_counts.astype(np.float64) * comp
+    utilization = (hotness >= hot_subpage_threshold_hotness).sum(axis=1)
+    sum_sq = np.square(hotness).sum(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        skew = np.where(
+            utilization > 0, sum_sq / np.square(utilization, dtype=np.float64), 0.0
+        )
+    return skew
+
+
+def utilization_factors(
+    sub_counts: np.ndarray, hot_subpage_threshold_hotness: int,
+    comp: int = SUBPAGES_PER_HUGE,
+) -> np.ndarray:
+    """Paper's U_i: hot subpages per huge page (0..512)."""
+    hotness = sub_counts.astype(np.float64) * comp
+    return (hotness >= hot_subpage_threshold_hotness).sum(axis=1)
+
+
+@dataclass
+class SplitDecision:
+    """Outcome of one benefit-estimation round."""
+
+    ehr: float
+    rhr: float
+    benefit: float
+    n_splits: int
+    candidates: List[int]  # hpns, most skewed first
+
+    @property
+    def triggered(self) -> bool:
+        return self.n_splits > 0 and bool(self.candidates)
+
+
+def choose_split_candidates(
+    hpns: np.ndarray,
+    sub_counts: np.ndarray,
+    hot_subpage_threshold_hotness: int,
+    n_splits: int,
+    comp: int = SUBPAGES_PER_HUGE,
+) -> List[int]:
+    """Top-``n_splits`` most skewed huge pages among ``hpns``.
+
+    Mirrors §4.3.2's skewness array built during cooling: candidates
+    must have at least one hot subpage and at least one cold one
+    (utilisation strictly between 0 and 512), otherwise splitting cannot
+    improve placement.
+    """
+    if n_splits <= 0 or len(hpns) == 0:
+        return []
+    skew = skewness_factors(sub_counts, hot_subpage_threshold_hotness, comp)
+    util = utilization_factors(sub_counts, hot_subpage_threshold_hotness, comp)
+    eligible = (util > 0) & (util < SUBPAGES_PER_HUGE)
+    if not eligible.any():
+        return []
+    order = np.argsort(-skew)
+    picked = [int(hpns[i]) for i in order if eligible[i]][:n_splits]
+    return picked

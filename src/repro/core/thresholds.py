@@ -1,0 +1,87 @@
+"""Algorithm 1: dynamic adaptation of the hot/warm/cold thresholds.
+
+`ksampled` expands the hot threshold downward from the top histogram bin
+for as long as the accumulated hot-set size still fits the fast tier.
+If the identified hot set is "close enough" to the fast tier capacity
+(``s >= MS_fast * alpha``, alpha = 0.9), the warm threshold equals the
+hot one (no separate warm band is needed -- the hot set already fills
+DRAM).  Otherwise the bin just below becomes *warm*: those pages stay
+wherever they are, shielding near-hot pages from demotion churn
+(§4.2.1).  ``T_cold = T_warm - 1`` always.
+
+Initial values are (hot, warm, cold) = (1, 1, 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.histogram import AccessHistogram
+from repro.mem.pages import BASE_PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Bin-index thresholds.  hot: B >= hot; cold: B < cold; else warm."""
+
+    hot: int
+    warm: int
+    cold: int
+
+    def classify(self, bin_index: int) -> str:
+        if bin_index >= self.hot:
+            return "hot"
+        if bin_index < self.cold:
+            return "cold"
+        return "warm"
+
+
+#: Paper initial thresholds (§4.2.1).
+INITIAL_THRESHOLDS = Thresholds(hot=1, warm=1, cold=0)
+
+
+def adapt_thresholds(
+    histogram: AccessHistogram,
+    fast_capacity_bytes: int,
+    alpha: float = 0.9,
+) -> Thresholds:
+    """Run Algorithm 1 over the current histogram.
+
+    Returns the new thresholds; also reports the identified hot-set size
+    through :func:`hot_set_bytes` (same accumulation).
+    """
+    s_bytes = 0
+    b = histogram.num_bins - 1
+    while b >= 1:
+        bin_bytes = int(histogram.bins[b]) * BASE_PAGE_SIZE
+        if s_bytes + bin_bytes > fast_capacity_bytes:
+            break
+        s_bytes += bin_bytes
+        b -= 1
+    hot = b + 1
+
+    if s_bytes >= fast_capacity_bytes * alpha:
+        warm = hot
+    else:
+        warm = hot - 1
+    cold = warm - 1
+    return Thresholds(hot=hot, warm=max(warm, 0), cold=max(cold, 0))
+
+
+def hot_set_bytes(histogram: AccessHistogram, thresholds: Thresholds) -> int:
+    """Size of the identified hot set (bins >= T_hot)."""
+    return histogram.bytes_at_or_above(thresholds.hot, BASE_PAGE_SIZE)
+
+
+def warm_set_bytes(histogram: AccessHistogram, thresholds: Thresholds) -> int:
+    """Size of the warm band (T_cold <= B < T_hot)."""
+    if thresholds.hot <= thresholds.cold:
+        return 0
+    pages = int(histogram.bins[thresholds.cold : thresholds.hot].sum())
+    return pages * BASE_PAGE_SIZE
+
+
+def cold_set_bytes(histogram: AccessHistogram, thresholds: Thresholds) -> int:
+    """Size of the cold set (B < T_cold)."""
+    pages = int(histogram.bins[: thresholds.cold].sum())
+    return pages * BASE_PAGE_SIZE

@@ -1,0 +1,20 @@
+"""Experiment regenerators: one module per paper table/figure.
+
+Each module exposes::
+
+    run(scale=None, **kwargs) -> ExperimentResult
+    main()                       # prints the paper-shaped output
+
+Run any of them from the command line::
+
+    python -m repro.experiments fig5          # the headline comparison
+    python -m repro.experiments table2 fig12  # several in sequence
+    python -m repro.experiments --list
+
+The mapping to the paper is recorded in DESIGN.md §3 and the measured
+outcomes in EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import ExperimentResult, EXPERIMENT_REGISTRY
+
+__all__ = ["ExperimentResult", "EXPERIMENT_REGISTRY"]

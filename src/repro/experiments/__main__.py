@@ -1,0 +1,45 @@
+"""Command-line entry point: ``python -m repro.experiments fig5 ...``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.common import EXPERIMENT_REGISTRY, SMOKE_SCALE, load_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (e.g. fig5 table2); 'all' runs everything")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run at the tiny smoke scale (fast, rough shapes)")
+    parser.add_argument("--save-dir", metavar="DIR",
+                        help="also write each result as JSON into DIR")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for exp_id, module in sorted(EXPERIMENT_REGISTRY.items()):
+            print(f"{exp_id:10s} {module}")
+        return 0
+
+    ids = list(EXPERIMENT_REGISTRY) if args.experiments == ["all"] else args.experiments
+    scale = SMOKE_SCALE if args.smoke else None
+    for exp_id in ids:
+        module = load_experiment(exp_id)
+        result = module.run(scale=scale)
+        result.print()
+        if args.save_dir:
+            import os
+
+            os.makedirs(args.save_dir, exist_ok=True)
+            result.save(os.path.join(args.save_dir, f"{exp_id}.json"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

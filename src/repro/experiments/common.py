@@ -1,0 +1,165 @@
+"""Shared experiment scaffolding: results, grids, baseline caching."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.sim.machine import DEFAULT_SCALE, ScaleSpec
+from repro.sim.runner import run_baseline, run_experiment, normalized_performance
+from repro.workloads.registry import PAPER_ORDER
+
+#: Quick scale for tests / smoke runs of the experiment modules.
+SMOKE_SCALE = ScaleSpec(
+    bytes_per_paper_gb=1 * 1024 * 1024,
+    accesses_per_paper_gb=30_000,
+    min_bytes=48 * 1024 * 1024,
+    min_accesses_per_page=60,
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment regeneration."""
+
+    experiment_id: str
+    title: str
+    text: str
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def print(self) -> None:
+        print(f"\n### {self.experiment_id}: {self.title}\n")
+        print(self.text)
+
+    def save(self, path: str) -> None:
+        """Write the rendered text and the raw data as JSON."""
+        import json
+
+        def default(obj):
+            try:
+                import numpy as np
+
+                if isinstance(obj, np.generic):
+                    return obj.item()
+                if isinstance(obj, np.ndarray):
+                    return obj.tolist()
+            except ImportError:  # pragma: no cover
+                pass
+            return str(obj)
+
+        with open(path, "w") as fh:
+            json.dump(
+                {
+                    "experiment_id": self.experiment_id,
+                    "title": self.title,
+                    "text": self.text,
+                    "data": self.data,
+                },
+                fh, indent=2, default=default,
+            )
+
+
+class BaselineCache:
+    """Caches the all-capacity baselines shared across policies."""
+
+    def __init__(self, scale: ScaleSpec, capacity_kind: str = "nvm", seed: int = 42):
+        self.scale = scale
+        self.capacity_kind = capacity_kind
+        self.seed = seed
+        self._cache: Dict[Tuple[str, str], object] = {}
+
+    def get(self, workload: str, ratio: str):
+        key = (workload, ratio)
+        if key not in self._cache:
+            self._cache[key] = run_baseline(
+                workload, ratio=ratio, capacity_kind=self.capacity_kind,
+                scale=self.scale, seed=self.seed,
+            )
+        return self._cache[key]
+
+
+def run_grid(
+    workloads: Sequence[str],
+    policies: Sequence[str],
+    ratios: Sequence[str],
+    scale: Optional[ScaleSpec] = None,
+    capacity_kind: str = "nvm",
+    seed: int = 42,
+    policy_kwargs: Optional[Dict[str, dict]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[Tuple[str, str, str], Dict[str, object]]:
+    """Run every (workload, policy, ratio) combo, normalised per cell.
+
+    Returns ``{(workload, policy, ratio): {"normalized": float,
+    "result": SimResult}}``.
+    """
+    scale = scale or DEFAULT_SCALE
+    baselines = BaselineCache(scale, capacity_kind, seed)
+    out: Dict[Tuple[str, str, str], Dict[str, object]] = {}
+    for workload in workloads:
+        for ratio in ratios:
+            baseline = baselines.get(workload, ratio)
+            for policy in policies:
+                if progress:
+                    progress(f"{workload} {policy} {ratio}")
+                kwargs = (policy_kwargs or {}).get(policy, {})
+                result = run_experiment(
+                    workload, policy, ratio=ratio, capacity_kind=capacity_kind,
+                    scale=scale, seed=seed, policy_kwargs=kwargs,
+                )
+                out[(workload, policy, ratio)] = {
+                    "normalized": normalized_performance(result, baseline),
+                    "result": result,
+                    "baseline": baseline,
+                }
+    return out
+
+
+def geomean(values: Sequence[float]) -> float:
+    import numpy as np
+
+    arr = np.asarray(values, dtype=float)
+    if len(arr) == 0:
+        return 0.0
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+#: experiment id -> module path (each defines run()/main()).
+EXPERIMENT_REGISTRY: Dict[str, str] = {
+    "table1": "repro.experiments.table1",
+    "fig1": "repro.experiments.fig1_damon",
+    "fig2": "repro.experiments.fig2_hemem_hotset",
+    "fig3": "repro.experiments.fig3_utilization",
+    "table2": "repro.experiments.table2",
+    "table3": "repro.experiments.table3",
+    "fig5": "repro.experiments.fig5_main",
+    "fig6": "repro.experiments.fig6_scalability",
+    "fig7": "repro.experiments.fig7_2to1",
+    "fig8": "repro.experiments.fig8_hemem_detail",
+    "fig9": "repro.experiments.fig9_hotset_timeline",
+    "fig10": "repro.experiments.fig10_warm_split_ablation",
+    "fig11": "repro.experiments.fig11_split_timeline",
+    "fig12": "repro.experiments.fig12_hit_ratios",
+    "fig13": "repro.experiments.fig13_sensitivity",
+    "fig14": "repro.experiments.fig14_cxl",
+    "overheads": "repro.experiments.overheads",
+    "ablations": "repro.experiments.ablations",
+    "tmts": "repro.experiments.tmts_comparison",
+    "colocation": "repro.experiments.colocation",
+}
+
+
+def load_experiment(experiment_id: str):
+    """Import the module implementing ``experiment_id``."""
+    try:
+        path = EXPERIMENT_REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(EXPERIMENT_REGISTRY)}"
+        ) from None
+    return importlib.import_module(path)
+
+
+ALL_WORKLOADS = list(PAPER_ORDER)

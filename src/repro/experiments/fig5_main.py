@@ -1,0 +1,114 @@
+"""Fig. 5: the headline comparison.
+
+Seven systems x eight benchmarks x three tiering ratios (1:2, 1:8,
+1:16), NVM capacity tier, normalised to the all-NVM-with-THP baseline.
+The paper's claims to reproduce:
+
+* MEMTIS performs best in almost all cases (paper: 23/24);
+* MEMTIS's geomean is well above the per-cell second-best system.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.ascii import bar_chart
+from repro.analysis.tables import format_table
+from repro.experiments.common import (
+    ALL_WORKLOADS,
+    ExperimentResult,
+    geomean,
+    run_grid,
+)
+from repro.policies.registry import FIG5_POLICIES
+from repro.sim.machine import DEFAULT_SCALE, ScaleSpec
+
+RATIOS = ["1:2", "1:8", "1:16"]
+
+
+def run(
+    scale: Optional[ScaleSpec] = None,
+    workloads=None,
+    policies=None,
+    ratios=None,
+    capacity_kind: str = "nvm",
+    verbose: bool = False,
+    **_kwargs,
+) -> ExperimentResult:
+    scale = scale or DEFAULT_SCALE
+    workloads = workloads or ALL_WORKLOADS
+    policies = policies or FIG5_POLICIES
+    ratios = ratios or RATIOS
+    progress = (lambda msg: print(f"  running {msg}")) if verbose else None
+    grid = run_grid(workloads, policies, ratios, scale=scale,
+                    capacity_kind=capacity_kind, progress=progress)
+
+    sections = []
+    wins = 0
+    cells = 0
+    margins = []
+    data = {"cells": {}}
+    for ratio in ratios:
+        rows = []
+        for workload in workloads:
+            normalized = {
+                policy: grid[(workload, policy, ratio)]["normalized"]
+                for policy in policies
+            }
+            best_other = max(
+                (v for p, v in normalized.items() if p != "memtis"), default=0.0
+            )
+            memtis = normalized.get("memtis", 0.0)
+            cells += 1
+            if memtis >= best_other:
+                wins += 1
+            if best_other > 0:
+                margins.append(memtis / best_other)
+            rows.append([workload] + [normalized[p] for p in policies]
+                        + [f"{(memtis / best_other - 1) * 100:+.1f}%"])
+            for policy in policies:
+                data["cells"][f"{workload}|{policy}|{ratio}"] = normalized[policy]
+        rows.append(
+            ["geomean"]
+            + [
+                geomean([grid[(w, p, ratio)]["normalized"] for w in workloads])
+                for p in policies
+            ]
+            + [""]
+        )
+        sections.append(
+            format_table(
+                ["Benchmark"] + list(policies) + ["memtis vs 2nd"],
+                rows,
+                title=f"Fig. 5 [{ratio}] normalised performance (all-NVM+THP = 1.0)",
+            )
+        )
+
+    overall = {
+        policy: geomean(
+            [grid[(w, policy, r)]["normalized"] for w in workloads for r in ratios]
+        )
+        for policy in policies
+    }
+    summary = bar_chart(
+        list(overall.keys()), list(overall.values()),
+        title="Fig. 5 geomean across all benchmarks and ratios", reference=1.0,
+    )
+    margin = (geomean(margins) - 1) * 100 if margins else 0.0
+    headline = (
+        f"\nMEMTIS best in {wins}/{cells} cells "
+        f"(paper: 23/24); geomean margin over per-cell second best: "
+        f"{margin:+.1f}% (paper: +33.6%)."
+    )
+    data.update({"wins": wins, "cells": cells, "margin_pct": margin,
+                 "overall_geomean": overall})
+    text = "\n\n".join(sections) + "\n\n" + summary + headline
+    return ExperimentResult("fig5", "Main performance comparison", text, data=data)
+
+
+def main() -> None:
+    run(verbose=True).print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Fig. 7: the 2:1 configuration (Meta's production target).
+
+Compares MEMTIS and TPP at fast:capacity = 2:1, with the all-DRAM
+(with and without THP) runs as references.  The paper's shape: MEMTIS
+tracks all-DRAM closely (except the SPEC pair), beating TPP by
+6.1%-33.3% where the sampled footprint exceeds DRAM and matching it
+where the hot set trivially fits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import ALL_WORKLOADS, BaselineCache, ExperimentResult
+from repro.policies.static import AllFastPolicy
+from repro.sim.engine import Simulation
+from repro.sim.machine import DEFAULT_SCALE, MachineSpec, ScaleSpec
+from repro.sim.runner import run_experiment
+from repro.workloads.registry import make_workload
+
+POLICIES = ["tpp", "memtis"]
+
+
+def run(scale: Optional[ScaleSpec] = None, workloads=None, **_kwargs) -> ExperimentResult:
+    scale = scale or DEFAULT_SCALE
+    workloads = workloads or ALL_WORKLOADS
+    baselines = BaselineCache(scale)
+    rows = []
+    data = {}
+    for name in workloads:
+        baseline = baselines.get(name, "2:1")
+        cell = {}
+        for policy in POLICIES:
+            result = run_experiment(name, policy, ratio="2:1", scale=scale)
+            cell[policy] = baseline.runtime_ns / result.runtime_ns
+        # All-DRAM references.
+        for label, force_base in (("all-dram+thp", False), ("all-dram-thp", True)):
+            workload = make_workload(name, scale)
+            machine = MachineSpec.from_ratio(
+                workload.total_bytes, ratio="2:1"
+            ).all_fast()
+            sim = Simulation(workload, AllFastPolicy(), machine,
+                             force_base_pages=force_base)
+            result = sim.run()
+            cell[label] = baseline.runtime_ns / result.runtime_ns
+        gap = (cell["memtis"] / cell["tpp"] - 1) * 100
+        dram_ratio = cell["memtis"] / cell["all-dram+thp"]
+        rows.append(
+            [name, cell["all-dram+thp"], cell["all-dram-thp"], cell["tpp"],
+             cell["memtis"], f"{gap:+.1f}%", f"{dram_ratio * 100:.0f}%"]
+        )
+        data[name] = dict(cell, memtis_vs_tpp_pct=gap)
+    text = format_table(
+        ["Benchmark", "All-DRAM w/THP", "All-DRAM w/o THP", "TPP", "MEMTIS",
+         "MEMTIS vs TPP", "MEMTIS / all-DRAM"],
+        rows,
+        title="Fig. 7: 2:1 configuration (normalised to all-NVM+THP)",
+    )
+    return ExperimentResult("fig7", "2:1 configuration vs TPP", text, data=data)
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Memory substrate: tiers, pages, address spaces, page tables, TLB, migration.
+
+This package models the hardware/kernel memory machinery that MEMTIS (and
+every baseline tiering policy) runs on top of:
+
+* :mod:`repro.mem.tiers` -- tier specifications and capacity-bounded
+  frame accounting for a fast tier (DRAM) and a capacity tier (NVM/CXL).
+* :mod:`repro.mem.pages` -- constants for base/huge pages and metadata
+  tables holding per-page access statistics.
+* :mod:`repro.mem.page_table` -- a 4-level radix page table with explicit
+  walk costs (3 levels for 2 MiB mappings, 4 for 4 KiB mappings).
+* :mod:`repro.mem.tlb` -- a split 4K/2M set-associative TLB with LRU
+  replacement and shootdown accounting.
+* :mod:`repro.mem.address_space` -- virtual address space with region
+  allocation, THP mapping, the fast vectorised tier mirror, and RSS
+  accounting (including huge-page bloat).
+* :mod:`repro.mem.migration` -- the migration engine used by the
+  background daemons and by critical-path (fault-time) migrations.
+"""
+
+from repro.mem.tiers import TierKind, TierSpec, MemoryTier, TieredMemory
+from repro.mem.pages import (
+    BASE_PAGE_SIZE,
+    HUGE_PAGE_SIZE,
+    SUBPAGES_PER_HUGE,
+    vpn_to_hpn,
+    hpn_to_vpn,
+)
+from repro.mem.page_table import PageTable, Mapping
+from repro.mem.tlb import TLB, TLBConfig, TLBStats
+from repro.mem.address_space import AddressSpace, Region
+from repro.mem.migration import MigrationEngine, MigrationStats
+
+__all__ = [
+    "TierKind",
+    "TierSpec",
+    "MemoryTier",
+    "TieredMemory",
+    "BASE_PAGE_SIZE",
+    "HUGE_PAGE_SIZE",
+    "SUBPAGES_PER_HUGE",
+    "vpn_to_hpn",
+    "hpn_to_vpn",
+    "PageTable",
+    "Mapping",
+    "TLB",
+    "TLBConfig",
+    "TLBStats",
+    "AddressSpace",
+    "Region",
+    "MigrationEngine",
+    "MigrationStats",
+]

@@ -1,0 +1,370 @@
+"""Virtual address space: regions, THP mapping, tier mirror, RSS.
+
+The address space owns:
+
+* a bump-with-recycling virtual page allocator handing out 2 MiB-aligned
+  regions to workloads;
+* the :class:`repro.mem.page_table.PageTable` (slow-path truth);
+* vectorised numpy mirrors used by the engine's per-batch cost
+  accounting (``page_tier``, ``page_huge``, ``touched``, ``ref_bit``);
+* resident-set-size accounting, including huge-page *bloat*: a huge page
+  contributes its full 2 MiB to RSS even when only a few subpages were
+  ever touched, which is exactly the Btree pathology of §6.2.5
+  (RSS 38.3 GB mapped vs 15.2 GB touched).
+
+All mapping mutations (map, unmap, migrate, split, collapse) go through
+this class so the mirrors can never drift from the page table; the test
+suite cross-checks them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.mem.page_table import PageTable
+from repro.mem.pages import (
+    BASE_PAGE_SIZE,
+    HUGE_PAGE_SIZE,
+    HUGE_SHIFT,
+    SUBPAGES_PER_HUGE,
+    hpn_to_vpn,
+    vpn_to_hpn,
+)
+from repro.mem.tiers import OutOfMemoryError, TieredMemory, TierKind, TIER_UNMAPPED
+
+
+@dataclass
+class Region:
+    """A contiguous virtual allocation made by a workload."""
+
+    region_id: int
+    name: str
+    base_vpn: int
+    num_vpns: int
+    thp: bool
+    live: bool = True
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_vpns * BASE_PAGE_SIZE
+
+    @property
+    def end_vpn(self) -> int:
+        return self.base_vpn + self.num_vpns
+
+
+TierChooser = Callable[[int], TierKind]
+
+
+class AddressSpace:
+    """Mapping state for one simulated process over a tier pair."""
+
+    def __init__(self, tiers: TieredMemory, virtual_bytes: Optional[int] = None):
+        self.tiers = tiers
+        if virtual_bytes is None:
+            # Enough virtual room for the whole machine plus recycling slack.
+            virtual_bytes = (
+                tiers.fast.capacity_bytes + tiers.capacity.capacity_bytes
+            ) * 2
+        self.num_vpns = int(np.ceil(virtual_bytes / BASE_PAGE_SIZE))
+        # Round the virtual space up to a whole number of huge slots.
+        self.num_vpns = (
+            (self.num_vpns + SUBPAGES_PER_HUGE - 1) >> HUGE_SHIFT
+        ) << HUGE_SHIFT
+        self.num_hpns = self.num_vpns >> HUGE_SHIFT
+
+        self.page_table = PageTable()
+        #: tier backing each 4 KiB vpn; TIER_UNMAPPED (-1) when unmapped.
+        self.page_tier = np.full(self.num_vpns, TIER_UNMAPPED, dtype=np.int8)
+        #: True when the vpn is covered by a 2 MiB mapping.
+        self.page_huge = np.zeros(self.num_vpns, dtype=bool)
+        #: True once the vpn has ever been accessed (written or read).
+        self.touched = np.zeros(self.num_vpns, dtype=bool)
+        #: hardware reference bit, cleared by scanning policies.
+        self.ref_bit = np.zeros(self.num_vpns, dtype=bool)
+
+        self._regions: Dict[int, Region] = {}
+        self._next_region_id = 0
+        self._bump_vpn = 0
+        self._recycle: Dict[int, List[int]] = {}
+        self._unmap_listeners: List[Callable[[int, int], None]] = []
+
+    # -- listeners ---------------------------------------------------------
+
+    def add_unmap_listener(self, fn: Callable[[int, int], None]) -> None:
+        """Register ``fn(base_vpn, num_vpns)`` called when a range unmaps.
+
+        Policies use this to reset their per-page metadata when a virtual
+        range is freed and may later be recycled for a new allocation.
+        """
+        self._unmap_listeners.append(fn)
+
+    def _notify_unmap(self, base_vpn: int, num_vpns: int) -> None:
+        for fn in self._unmap_listeners:
+            fn(base_vpn, num_vpns)
+
+    # -- region allocation ---------------------------------------------------
+
+    def _reserve_vpns(self, num_vpns: int) -> int:
+        bucket = self._recycle.get(num_vpns)
+        if bucket:
+            return bucket.pop()
+        base = self._bump_vpn
+        if base + num_vpns > self.num_vpns:
+            raise OutOfMemoryError(
+                f"virtual space exhausted: need {num_vpns} vpns at {base}, "
+                f"have {self.num_vpns}"
+            )
+        self._bump_vpn = base + num_vpns
+        return base
+
+    def alloc_region(
+        self,
+        nbytes: int,
+        name: str = "",
+        thp: bool = True,
+        tier_chooser: Optional[TierChooser] = None,
+    ) -> Region:
+        """Allocate and map a region.
+
+        With ``thp`` True, every full 2 MiB-aligned chunk is mapped as a
+        huge page (transparent huge pages on a fresh anonymous mapping);
+        the tail is mapped with base pages.  ``tier_chooser(chunk_bytes)``
+        picks the preferred tier per chunk; if that tier is full the
+        other tier is used (node fallback), and if both are full the
+        allocation raises :class:`OutOfMemoryError`.
+        """
+        if nbytes <= 0:
+            raise ValueError("region size must be positive")
+        num_vpns = -(-nbytes // BASE_PAGE_SIZE)
+        # Regions are 2 MiB aligned so THP can always engage.
+        num_vpns = ((num_vpns + SUBPAGES_PER_HUGE - 1) >> HUGE_SHIFT) << HUGE_SHIFT
+        base_vpn = self._reserve_vpns(num_vpns)
+        region = Region(
+            region_id=self._next_region_id,
+            name=name,
+            base_vpn=base_vpn,
+            num_vpns=num_vpns,
+            thp=thp,
+        )
+        self._next_region_id += 1
+
+        chooser = tier_chooser or (lambda _nbytes: TierKind.FAST)
+        if thp:
+            for hpn in range(vpn_to_hpn(base_vpn), vpn_to_hpn(base_vpn + num_vpns)):
+                self._map_huge(hpn, self._pick_tier(chooser, HUGE_PAGE_SIZE))
+        else:
+            for vpn in range(base_vpn, base_vpn + num_vpns):
+                self._map_base(vpn, self._pick_tier(chooser, BASE_PAGE_SIZE))
+
+        self._regions[region.region_id] = region
+        return region
+
+    def _pick_tier(self, chooser: TierChooser, nbytes: int) -> TierKind:
+        preferred = chooser(nbytes)
+        if self.tiers.tier(preferred).can_alloc(nbytes):
+            return preferred
+        fallback = preferred.other
+        if self.tiers.tier(fallback).can_alloc(nbytes):
+            return fallback
+        raise OutOfMemoryError(
+            f"no tier can hold {nbytes} bytes "
+            f"(fast free={self.tiers.fast.free_bytes}, "
+            f"capacity free={self.tiers.capacity.free_bytes})"
+        )
+
+    def free_region(self, region: Region) -> None:
+        """Unmap a region and release its frames."""
+        if not region.live:
+            raise ValueError(f"region {region.region_id} already freed")
+        vpn = region.base_vpn
+        end = region.end_vpn
+        while vpn < end:
+            if self.page_tier[vpn] == TIER_UNMAPPED:
+                vpn += 1  # subpage freed earlier by a split
+                continue
+            mapping = self.page_table.lookup(vpn)
+            if mapping.is_huge:
+                self._unmap_huge(vpn_to_hpn(vpn))
+                vpn = hpn_to_vpn(vpn_to_hpn(vpn)) + SUBPAGES_PER_HUGE
+            else:
+                self._unmap_base(vpn)
+                vpn += 1
+        self.touched[region.base_vpn : end] = False
+        self.ref_bit[region.base_vpn : end] = False
+        self._notify_unmap(region.base_vpn, region.num_vpns)
+        region.live = False
+        del self._regions[region.region_id]
+        self._recycle.setdefault(region.num_vpns, []).append(region.base_vpn)
+
+    # -- low-level map/unmap -------------------------------------------------
+
+    def _map_huge(self, hpn: int, tier: TierKind) -> None:
+        base = hpn_to_vpn(hpn)
+        self.tiers.tier(tier).alloc(HUGE_PAGE_SIZE)
+        self.page_table.map_huge(base, tier)
+        self.page_tier[base : base + SUBPAGES_PER_HUGE] = int(tier)
+        self.page_huge[base : base + SUBPAGES_PER_HUGE] = True
+
+    def _map_base(self, vpn: int, tier: TierKind) -> None:
+        self.tiers.tier(tier).alloc(BASE_PAGE_SIZE)
+        self.page_table.map_base(vpn, tier)
+        self.page_tier[vpn] = int(tier)
+        self.page_huge[vpn] = False
+
+    def _unmap_huge(self, hpn: int) -> None:
+        base = hpn_to_vpn(hpn)
+        mapping = self.page_table.unmap(base)
+        self.tiers.tier(mapping.tier).free(HUGE_PAGE_SIZE)
+        self.page_tier[base : base + SUBPAGES_PER_HUGE] = TIER_UNMAPPED
+        self.page_huge[base : base + SUBPAGES_PER_HUGE] = False
+
+    def _unmap_base(self, vpn: int) -> None:
+        mapping = self.page_table.unmap(vpn)
+        self.tiers.tier(mapping.tier).free(BASE_PAGE_SIZE)
+        self.page_tier[vpn] = TIER_UNMAPPED
+        self.page_huge[vpn] = False
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def regions(self) -> List[Region]:
+        return list(self._regions.values())
+
+    @property
+    def rss_bytes(self) -> int:
+        """Resident set size: every mapped byte (huge bloat included)."""
+        return self.tiers.total_used()
+
+    @property
+    def touched_bytes(self) -> int:
+        """Bytes of 4 KiB pages that were ever accessed."""
+        return int(np.count_nonzero(self.touched & (self.page_tier >= 0))) * BASE_PAGE_SIZE
+
+    def huge_page_ratio(self) -> float:
+        """Fraction of mapped memory backed by huge pages (Table 2's RHP)."""
+        mapped = int(np.count_nonzero(self.page_tier >= 0))
+        if mapped == 0:
+            return 0.0
+        huge = int(np.count_nonzero(self.page_huge & (self.page_tier >= 0)))
+        return huge / mapped
+
+    def mapped_huge_hpns(self) -> np.ndarray:
+        """hpn indices of currently huge-mapped slots."""
+        base_is_huge = self.page_huge[:: SUBPAGES_PER_HUGE]
+        return np.flatnonzero(base_is_huge)
+
+    def tier_of_vpn(self, vpn: int) -> TierKind:
+        raw = int(self.page_tier[vpn])
+        if raw == TIER_UNMAPPED:
+            raise KeyError(f"vpn {vpn} not mapped")
+        return TierKind(raw)
+
+    def record_touch(self, vpns: np.ndarray) -> None:
+        """Set touched/reference bits for a batch of accessed vpns."""
+        self.touched[vpns] = True
+        self.ref_bit[vpns] = True
+
+    def demand_map(self, vpn: int, preferred: TierKind) -> TierKind:
+        """Map one base page on first touch (e.g. a subpage freed by a
+        huge-page split being written again).  Returns the tier used.
+        """
+        if self.page_tier[vpn] != TIER_UNMAPPED:
+            raise ValueError(f"vpn {vpn} already mapped")
+        tier = self._pick_tier(lambda _n: preferred, BASE_PAGE_SIZE)
+        self._map_base(vpn, tier)
+        return tier
+
+    # -- mapping mutations used by the migration engine ------------------------
+
+    def retarget(self, base_vpn: int, is_huge: bool, dst: TierKind) -> int:
+        """Move one mapping to ``dst``; returns bytes moved.
+
+        Caller is responsible for cost accounting (copy + shootdown).
+        """
+        nbytes = HUGE_PAGE_SIZE if is_huge else BASE_PAGE_SIZE
+        mapping = self.page_table.lookup(base_vpn)
+        if mapping is None or mapping.is_huge != is_huge:
+            raise KeyError(f"vpn {base_vpn} mapping shape mismatch")
+        src = mapping.tier
+        if src is dst:
+            return 0
+        self.tiers.tier(dst).alloc(nbytes)
+        self.tiers.tier(src).free(nbytes)
+        self.page_table.set_tier(base_vpn, dst)
+        span = SUBPAGES_PER_HUGE if is_huge else 1
+        self.page_tier[base_vpn : base_vpn + span] = int(dst)
+        return nbytes
+
+    def split_huge(self, hpn: int, subpage_tiers) -> dict:
+        """Split huge page ``hpn`` into base pages at per-subpage tiers.
+
+        ``subpage_tiers[j]`` is the destination :class:`TierKind` of
+        subpage ``j``, or None to free it (never-touched, all-zero
+        subpages are unmapped to reclaim bloat, §4.3.3).  Returns a small
+        accounting dict (bytes freed / migrated) for the caller to charge.
+        """
+        base = hpn_to_vpn(hpn)
+        mapping = self.page_table.lookup(base)
+        if mapping is None or not mapping.is_huge:
+            raise ValueError(f"hpn {hpn} is not huge-mapped")
+        src = mapping.tier
+
+        self._unmap_huge(hpn)
+        freed = 0
+        moved = 0
+        for sub in range(SUBPAGES_PER_HUGE):
+            dst = subpage_tiers[sub]
+            if dst is None:
+                freed += BASE_PAGE_SIZE
+                self.touched[base + sub] = False
+                continue
+            self._map_base(base + sub, dst)
+            if dst is not src:
+                moved += BASE_PAGE_SIZE
+        return {"bytes_freed": freed, "bytes_migrated": moved, "src_tier": src}
+
+    def collapse_huge(self, hpn: int, tier: TierKind) -> int:
+        """Coalesce 512 base subpages back into one huge page on ``tier``.
+
+        Returns bytes migrated (subpages that changed tier).
+        """
+        base = hpn_to_vpn(hpn)
+        span = self.page_tier[base : base + SUBPAGES_PER_HUGE]
+        if np.any(span == TIER_UNMAPPED) or np.any(
+            self.page_huge[base : base + SUBPAGES_PER_HUGE]
+        ):
+            raise ValueError(f"hpn {hpn} not fully base-mapped; cannot collapse")
+        moved = int(np.count_nonzero(span != int(tier))) * BASE_PAGE_SIZE
+        for sub in range(SUBPAGES_PER_HUGE):
+            self._unmap_base(base + sub)
+        self._map_huge(hpn, tier)
+        return moved
+
+    # -- consistency (used by tests) -------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Assert the numpy mirrors agree with the radix page table."""
+        seen = np.full(self.num_vpns, TIER_UNMAPPED, dtype=np.int8)
+        huge = np.zeros(self.num_vpns, dtype=bool)
+        for mapping in self.page_table.iter_mappings():
+            span = mapping.num_vpns
+            seen[mapping.vpn : mapping.vpn + span] = int(mapping.tier)
+            huge[mapping.vpn : mapping.vpn + span] = mapping.is_huge
+        if not np.array_equal(seen, self.page_tier):
+            raise AssertionError("page_tier mirror out of sync with page table")
+        if not np.array_equal(huge, self.page_huge):
+            raise AssertionError("page_huge mirror out of sync with page table")
+        used_fast = int(np.count_nonzero(seen == int(TierKind.FAST))) * BASE_PAGE_SIZE
+        used_cap = int(np.count_nonzero(seen == int(TierKind.CAPACITY))) * BASE_PAGE_SIZE
+        if used_fast != self.tiers.fast.used_bytes:
+            raise AssertionError(
+                f"fast tier accounting {self.tiers.fast.used_bytes} != mapped {used_fast}"
+            )
+        if used_cap != self.tiers.capacity.used_bytes:
+            raise AssertionError(
+                f"capacity tier accounting {self.tiers.capacity.used_bytes} != mapped {used_cap}"
+            )

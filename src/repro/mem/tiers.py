@@ -1,0 +1,183 @@
+"""Memory tiers: specifications, capacity accounting, and the tier pair.
+
+The paper evaluates two tier layouts (§6.1, §6.4):
+
+* DRAM (fast tier) + Intel Optane NVM (capacity tier), load latency
+  ~300 ns on the capacity tier;
+* DRAM + emulated CXL memory, load latency 177 ns on the capacity tier.
+
+We model a tier as a latency/bandwidth specification plus a
+capacity-bounded byte allocator.  Individual frame numbers are not
+tracked -- placement cost in the simulator depends only on *which tier*
+backs a page -- but allocation and free are strict: a tier never goes
+over capacity, and double-frees are detected.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TierKind(enum.IntEnum):
+    """Identity of a tier.  Values are stable and used in numpy mirrors."""
+
+    FAST = 0
+    CAPACITY = 1
+
+    @property
+    def other(self) -> "TierKind":
+        return TierKind.CAPACITY if self is TierKind.FAST else TierKind.FAST
+
+
+#: Sentinel tier value in vectorised per-page arrays for unmapped pages.
+TIER_UNMAPPED = -1
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """Performance/capacity specification of one memory tier.
+
+    Latencies follow the paper's hardware (§6.1/§6.4): local DRAM load
+    ~80 ns, Optane NVM load ~300 ns, emulated CXL load ~177 ns.  Store
+    latencies are modestly higher on NVM (write asymmetry).
+    """
+
+    name: str
+    capacity_bytes: int
+    load_latency_ns: float
+    store_latency_ns: float
+    bandwidth_gbps: float = 100.0
+
+    def __post_init__(self):
+        if self.capacity_bytes <= 0:
+            raise ValueError(f"{self.name}: capacity must be positive")
+        if self.load_latency_ns <= 0 or self.store_latency_ns <= 0:
+            raise ValueError(f"{self.name}: latencies must be positive")
+
+
+def dram_spec(capacity_bytes: int) -> TierSpec:
+    """Local-DRAM fast tier (DDR4 on the paper's Xeon Gold 5218R)."""
+    return TierSpec("DRAM", capacity_bytes, load_latency_ns=80.0,
+                    store_latency_ns=80.0, bandwidth_gbps=100.0)
+
+
+def nvm_spec(capacity_bytes: int) -> TierSpec:
+    """Optane DCPMM capacity tier (load ~300 ns per §6.1)."""
+    return TierSpec("NVM", capacity_bytes, load_latency_ns=300.0,
+                    store_latency_ns=400.0, bandwidth_gbps=15.0)
+
+
+def cxl_spec(capacity_bytes: int) -> TierSpec:
+    """Emulated directly-attached CXL memory (load ~177 ns per §6.4)."""
+    return TierSpec("CXL", capacity_bytes, load_latency_ns=177.0,
+                    store_latency_ns=187.0, bandwidth_gbps=60.0)
+
+
+CAPACITY_SPECS = {"nvm": nvm_spec, "cxl": cxl_spec, "dram": dram_spec}
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation cannot be satisfied by any tier."""
+
+
+@dataclass
+class MemoryTier:
+    """One tier with strict byte accounting."""
+
+    kind: TierKind
+    spec: TierSpec
+    used_bytes: int = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.spec.capacity_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.capacity_bytes - self.used_bytes
+
+    @property
+    def utilization(self) -> float:
+        return self.used_bytes / self.spec.capacity_bytes
+
+    def can_alloc(self, nbytes: int) -> bool:
+        return nbytes <= self.free_bytes
+
+    def alloc(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if nbytes > self.free_bytes:
+            raise OutOfMemoryError(
+                f"{self.spec.name}: need {nbytes} bytes, "
+                f"only {self.free_bytes} free of {self.capacity_bytes}"
+            )
+        self.used_bytes += nbytes
+
+    def free(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("free size must be non-negative")
+        if nbytes > self.used_bytes:
+            raise ValueError(
+                f"{self.spec.name}: freeing {nbytes} bytes but only "
+                f"{self.used_bytes} in use (double free?)"
+            )
+        self.used_bytes -= nbytes
+
+
+@dataclass
+class TieredMemory:
+    """The fast/capacity tier pair of one machine.
+
+    Provides latency lookup tables indexed by :class:`TierKind` value for
+    vectorised cost accounting, and small helpers policies use to reason
+    about headroom.
+    """
+
+    fast: MemoryTier
+    capacity: MemoryTier
+
+    @classmethod
+    def build(cls, fast_spec: TierSpec, capacity_spec: TierSpec) -> "TieredMemory":
+        return cls(
+            fast=MemoryTier(TierKind.FAST, fast_spec),
+            capacity=MemoryTier(TierKind.CAPACITY, capacity_spec),
+        )
+
+    def __post_init__(self):
+        if self.fast.kind is not TierKind.FAST:
+            raise ValueError("fast tier must have kind FAST")
+        if self.capacity.kind is not TierKind.CAPACITY:
+            raise ValueError("capacity tier must have kind CAPACITY")
+
+    def tier(self, kind: TierKind) -> MemoryTier:
+        return self.fast if kind is TierKind.FAST else self.capacity
+
+    def __iter__(self):
+        yield self.fast
+        yield self.capacity
+
+    @property
+    def latency_gap(self) -> float:
+        """``AL = L_cap - L_fast`` used in the split-count equation (Eq. 2)."""
+        return self.capacity.spec.load_latency_ns - self.fast.spec.load_latency_ns
+
+    def load_latency_table(self):
+        """Array ``lat[tier_kind_value] -> load ns`` for vectorised gather."""
+        import numpy as np
+
+        return np.array(
+            [self.fast.spec.load_latency_ns, self.capacity.spec.load_latency_ns],
+            dtype=np.float64,
+        )
+
+    def store_latency_table(self):
+        import numpy as np
+
+        return np.array(
+            [self.fast.spec.store_latency_ns, self.capacity.spec.store_latency_ns],
+            dtype=np.float64,
+        )
+
+    def total_used(self) -> int:
+        return self.fast.used_bytes + self.capacity.used_bytes

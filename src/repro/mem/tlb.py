@@ -1,0 +1,176 @@
+"""Split 4K/2M set-associative TLB with LRU replacement.
+
+Huge pages matter to the paper through two mechanisms (§2.3):
+
+1. *TLB reach* -- one 2 MiB entry covers 512x the address range of a
+   4 KiB entry, cutting the miss rate of big-footprint workloads;
+2. *walk cost* -- a 2 MiB mapping terminates the radix walk one level
+   earlier (3 references vs 4).
+
+Splitting a huge page destroys both benefits for the split range and
+costs a TLB shootdown, which is why MEMTIS splits only hot, highly
+skewed huge pages.  This module provides the mechanism that makes those
+costs observable in the simulated runtime.
+
+The TLB is simulated exactly, but (for speed) the engine feeds it a
+strided substream of the access trace and scales the resulting miss
+counts back up; the stride is part of :class:`TLBConfig` so experiments
+can trade accuracy for time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.mem.page_table import WALK_LEVELS_BASE, WALK_LEVELS_HUGE
+from repro.mem.pages import vpn_to_hpn
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Geometry of the split TLB.
+
+    Defaults are scaled down with the simulated footprints so the
+    TLB-reach-to-RSS proportions of the paper's testbed are preserved
+    (a real 1536-entry STLB against a 40-500 MiB address space would
+    never miss and the huge-page trade-off would vanish).
+
+    ``sample_stride`` is the simulation-side decimation factor: the TLB
+    observes every Nth access and the engine multiplies miss counts by N.
+    Stride 1 simulates every access exactly.
+    """
+
+    entries_4k: int = 256
+    entries_2m: int = 32
+    ways: int = 4
+    sample_stride: int = 16
+
+    def __post_init__(self):
+        for name in ("entries_4k", "entries_2m", "ways", "sample_stride"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.entries_4k % self.ways or self.entries_2m % self.ways:
+            raise ValueError("entry counts must be divisible by ways")
+
+
+@dataclass
+class TLBStats:
+    """Cumulative TLB behaviour over a run."""
+
+    lookups: int = 0
+    hits_4k: int = 0
+    hits_2m: int = 0
+    misses_4k: int = 0
+    misses_2m: int = 0
+    walk_levels: int = 0
+    shootdowns: int = 0
+    invalidated_entries: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.misses_4k + self.misses_2m
+
+    @property
+    def hits(self) -> int:
+        return self.hits_4k + self.hits_2m
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.lookups if self.lookups else 0.0
+
+
+class _SetAssocArray:
+    """One set-associative LRU array keyed by page tag."""
+
+    __slots__ = ("num_sets", "ways", "sets")
+
+    def __init__(self, entries: int, ways: int):
+        self.num_sets = entries // ways
+        self.ways = ways
+        # Each set is a most-recently-used-first list of tags.
+        self.sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+
+    def access(self, tag: int) -> bool:
+        """Touch ``tag``; returns True on hit.  Fills on miss (LRU evict)."""
+        entry_set = self.sets[tag % self.num_sets]
+        try:
+            entry_set.remove(tag)
+        except ValueError:
+            if len(entry_set) >= self.ways:
+                entry_set.pop()
+            entry_set.insert(0, tag)
+            return False
+        entry_set.insert(0, tag)
+        return True
+
+    def invalidate(self, tag: int) -> bool:
+        entry_set = self.sets[tag % self.num_sets]
+        try:
+            entry_set.remove(tag)
+            return True
+        except ValueError:
+            return False
+
+    def flush(self) -> int:
+        count = sum(len(s) for s in self.sets)
+        for s in self.sets:
+            s.clear()
+        return count
+
+
+class TLB:
+    """Split 4K/2M TLB driven by the engine's strided substream."""
+
+    def __init__(self, config: TLBConfig = TLBConfig()):
+        self.config = config
+        self.stats = TLBStats()
+        self._tlb_4k = _SetAssocArray(config.entries_4k, config.ways)
+        self._tlb_2m = _SetAssocArray(config.entries_2m, config.ways)
+
+    def access_substream(self, vpns: np.ndarray, is_huge: np.ndarray) -> int:
+        """Run the (already strided) substream through the TLB.
+
+        ``is_huge[i]`` says whether vpn ``i`` is currently covered by a
+        2 MiB mapping.  Returns the total page-walk levels incurred by
+        this substream (un-scaled; the caller applies the stride factor).
+        """
+        walk_levels = 0
+        tlb_4k = self._tlb_4k
+        tlb_2m = self._tlb_2m
+        stats = self.stats
+        hpns = vpn_to_hpn(vpns)
+        for vpn, hpn, huge in zip(vpns.tolist(), hpns.tolist(), is_huge.tolist()):
+            stats.lookups += 1
+            if huge:
+                if tlb_2m.access(hpn):
+                    stats.hits_2m += 1
+                else:
+                    stats.misses_2m += 1
+                    walk_levels += WALK_LEVELS_HUGE
+            else:
+                if tlb_4k.access(vpn):
+                    stats.hits_4k += 1
+                else:
+                    stats.misses_4k += 1
+                    walk_levels += WALK_LEVELS_BASE
+        stats.walk_levels += walk_levels
+        return walk_levels
+
+    def shootdown_huge(self, hpn: int) -> None:
+        """Invalidate the 2 MiB entry for ``hpn`` (split/collapse/migrate)."""
+        self.stats.shootdowns += 1
+        if self._tlb_2m.invalidate(hpn):
+            self.stats.invalidated_entries += 1
+
+    def shootdown_base(self, vpn: int) -> None:
+        self.stats.shootdowns += 1
+        if self._tlb_4k.invalidate(vpn):
+            self.stats.invalidated_entries += 1
+
+    def flush(self) -> None:
+        self.stats.shootdowns += 1
+        self.stats.invalidated_entries += self._tlb_4k.flush()
+        self.stats.invalidated_entries += self._tlb_2m.flush()

@@ -1,0 +1,28 @@
+"""Hardware event-based sampling substrate (Intel PEBS stand-in).
+
+MEMTIS consumes PEBS records of retired LLC-load-misses and retired
+stores (§4.1.1).  This package reproduces the observable contract of
+that hardware:
+
+* :mod:`repro.pebs.events` -- the access-batch representation flowing
+  from workloads through the engine;
+* :mod:`repro.pebs.sampler` -- per-event-type interval sampling with a
+  bounded buffer (overflow drops records, as real PEBS does when the
+  consumer lags);
+* :mod:`repro.pebs.overhead` -- the `ksampled` CPU-usage model and the
+  paper's dynamic sampling-period controller (3% of one core cap, 0.5%
+  hysteresis band, exponential-moving-average usage estimate).
+"""
+
+from repro.pebs.events import AccessBatch
+from repro.pebs.sampler import PEBSSampler, SampleBatch, SamplerConfig
+from repro.pebs.overhead import CpuOverheadModel, SamplingPeriodController
+
+__all__ = [
+    "AccessBatch",
+    "PEBSSampler",
+    "SampleBatch",
+    "SamplerConfig",
+    "CpuOverheadModel",
+    "SamplingPeriodController",
+]

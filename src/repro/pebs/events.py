@@ -1,0 +1,74 @@
+"""Access-event batches: the unit of trace flowing through the simulator.
+
+Workloads produce :class:`AccessBatch` objects in *region-relative* page
+offsets; the engine rebases them onto absolute vpns once the region is
+placed.  The structure-of-arrays layout keeps all engine-side cost
+accounting vectorised.
+
+Event-type semantics: the trace represents *memory* accesses (the loads
+in it are the ones that miss the last-level cache -- our workload
+generators emit the post-cache stream directly), so every load in a
+batch is a PEBS-eligible LLC-load-miss and every store a PEBS-eligible
+retired store.  This matches what MEMTIS's `ksampled` would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class AccessBatch:
+    """A batch of memory accesses at 4 KiB-page granularity.
+
+    Attributes
+    ----------
+    vpn:
+        int64 array of accessed 4 KiB page numbers.  Region-relative when
+        produced by a workload; absolute after the engine rebases.
+    is_store:
+        bool array parallel to ``vpn``; True for stores.
+    """
+
+    vpn: np.ndarray
+    is_store: np.ndarray
+
+    def __post_init__(self):
+        self.vpn = np.ascontiguousarray(self.vpn, dtype=np.int64)
+        self.is_store = np.ascontiguousarray(self.is_store, dtype=bool)
+        if self.vpn.shape != self.is_store.shape:
+            raise ValueError(
+                f"vpn shape {self.vpn.shape} != is_store shape {self.is_store.shape}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.vpn.shape[0])
+
+    @property
+    def num_loads(self) -> int:
+        return len(self) - self.num_stores
+
+    @property
+    def num_stores(self) -> int:
+        return int(np.count_nonzero(self.is_store))
+
+    def rebased(self, base_vpn: int) -> "AccessBatch":
+        """Return a copy with vpns shifted by ``base_vpn``."""
+        return AccessBatch(self.vpn + base_vpn, self.is_store)
+
+    @classmethod
+    def loads(cls, vpns: np.ndarray) -> "AccessBatch":
+        vpns = np.asarray(vpns, dtype=np.int64)
+        return cls(vpns, np.zeros(len(vpns), dtype=bool))
+
+    @classmethod
+    def concat(cls, batches) -> "AccessBatch":
+        batches = list(batches)
+        if not batches:
+            return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=bool))
+        return cls(
+            np.concatenate([b.vpn for b in batches]),
+            np.concatenate([b.is_store for b in batches]),
+        )

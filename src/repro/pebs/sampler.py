@@ -1,0 +1,121 @@
+"""Interval sampling of the access stream, PEBS-style.
+
+PEBS delivers one record every N occurrences of a configured event.
+MEMTIS programs two counters (§4.1.1): retired LLC load misses at an
+initial period of 200 and retired stores at 100,000.  The sampler below
+reproduces that contract exactly over the simulated access stream,
+including the bounded sample buffer: when the consumer (`ksampled`)
+cannot drain fast enough, excess records are dropped and counted, the
+same observable behaviour as a PEBS buffer overflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pebs.events import AccessBatch
+
+#: Paper defaults (§4.1.1).
+DEFAULT_LOAD_PERIOD = 200
+DEFAULT_STORE_PERIOD = 100_000
+
+
+@dataclass
+class SamplerConfig:
+    """Sampling periods and buffer bound."""
+
+    load_period: int = DEFAULT_LOAD_PERIOD
+    store_period: int = DEFAULT_STORE_PERIOD
+    buffer_capacity: int = 1 << 16
+
+    def __post_init__(self):
+        if self.load_period <= 0 or self.store_period <= 0:
+            raise ValueError("sampling periods must be positive")
+        if self.buffer_capacity <= 0:
+            raise ValueError("buffer capacity must be positive")
+
+
+@dataclass
+class SampleBatch:
+    """Sampled records extracted from one access batch."""
+
+    vpn: np.ndarray
+    is_store: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.vpn.shape[0])
+
+    @classmethod
+    def empty(cls) -> "SampleBatch":
+        return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=bool))
+
+
+class PEBSSampler:
+    """Every-Nth-event sampler with independent load/store counters."""
+
+    def __init__(self, config: SamplerConfig = None):
+        self.config = config or SamplerConfig()
+        self._load_phase = 0  # events seen since last load sample
+        self._store_phase = 0
+        self.total_samples = 0
+        self.total_events = 0
+        self.dropped_samples = 0
+
+    @property
+    def load_period(self) -> int:
+        return self.config.load_period
+
+    @property
+    def store_period(self) -> int:
+        return self.config.store_period
+
+    def set_periods(self, load_period: int, store_period: int) -> None:
+        """Reprogram the counters (the `__perf_event_period` path)."""
+        if load_period <= 0 or store_period <= 0:
+            raise ValueError("sampling periods must be positive")
+        self.config.load_period = int(load_period)
+        self.config.store_period = int(store_period)
+        self._load_phase %= self.config.load_period
+        self._store_phase %= self.config.store_period
+
+    def _select(self, count: int, phase: int, period: int) -> np.ndarray:
+        """Indices (0..count) of sampled events given the running phase."""
+        first = period - 1 - phase
+        if first >= count:
+            return np.empty(0, dtype=np.int64)
+        return np.arange(first, count, period, dtype=np.int64)
+
+    def sample(self, batch: AccessBatch) -> SampleBatch:
+        """Extract PEBS records from ``batch`` (absolute vpns expected)."""
+        n = len(batch)
+        self.total_events += n
+        if n == 0:
+            return SampleBatch.empty()
+
+        store_mask = batch.is_store
+        load_positions = np.flatnonzero(~store_mask)
+        store_positions = np.flatnonzero(store_mask)
+
+        load_idx = self._select(
+            len(load_positions), self._load_phase, self.config.load_period
+        )
+        store_idx = self._select(
+            len(store_positions), self._store_phase, self.config.store_period
+        )
+        self._load_phase = (self._load_phase + len(load_positions)) % self.config.load_period
+        self._store_phase = (self._store_phase + len(store_positions)) % self.config.store_period
+
+        positions = np.concatenate(
+            [load_positions[load_idx], store_positions[store_idx]]
+        )
+        positions.sort()
+
+        if len(positions) > self.config.buffer_capacity:
+            # PEBS buffer overflow: the oldest records beyond capacity drop.
+            self.dropped_samples += len(positions) - self.config.buffer_capacity
+            positions = positions[-self.config.buffer_capacity :]
+
+        self.total_samples += len(positions)
+        return SampleBatch(batch.vpn[positions], batch.is_store[positions])

@@ -1,0 +1,53 @@
+"""Tiering policies: the six baselines from the paper plus helpers.
+
+Every policy implements :class:`repro.policies.base.TieringPolicy` and
+observes the access stream only through its real-world mechanism:
+
+* page-fault (NUMA-hint) tracking: AutoNUMA, AutoTiering, Tiering-0.8,
+  TPP -- these also migrate on the critical path, as Table 1 notes;
+* page-table (reference-bit) scanning: Nimble, MULTI-CLOCK;
+* hardware sampling (PEBS): HeMem (static thresholds) and MEMTIS
+  (:mod:`repro.core`).
+
+`repro.policies.damon` implements the DAMON region monitor used by the
+paper's Fig. 1 accuracy/overhead analysis, and `repro.policies.static`
+provides the all-fast / all-capacity reference configurations used for
+normalisation.
+"""
+
+from repro.policies.base import (
+    BatchObservation,
+    PolicyContext,
+    TieringPolicy,
+    Traits,
+)
+from repro.policies.static import AllCapacityPolicy, AllFastPolicy
+from repro.policies.autonuma import AutoNUMAPolicy
+from repro.policies.autotiering import AutoTieringPolicy
+from repro.policies.tiering08 import Tiering08Policy
+from repro.policies.tpp import TPPPolicy
+from repro.policies.nimble import NimblePolicy
+from repro.policies.multiclock import MultiClockPolicy
+from repro.policies.hemem import HeMemPolicy
+from repro.policies.tmts import TMTSPolicy
+from repro.policies.registry import POLICY_REGISTRY, make_policy, policy_names
+
+__all__ = [
+    "BatchObservation",
+    "PolicyContext",
+    "TieringPolicy",
+    "Traits",
+    "AllCapacityPolicy",
+    "AllFastPolicy",
+    "AutoNUMAPolicy",
+    "AutoTieringPolicy",
+    "Tiering08Policy",
+    "TPPPolicy",
+    "NimblePolicy",
+    "MultiClockPolicy",
+    "HeMemPolicy",
+    "TMTSPolicy",
+    "POLICY_REGISTRY",
+    "make_policy",
+    "policy_names",
+]

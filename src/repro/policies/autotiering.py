@@ -1,0 +1,183 @@
+"""AutoTiering (ATC'21) baseline.
+
+Table 1 row: page-fault tracking, recency promotion, frequency (LFU)
+demotion, static promotion threshold + LFU demotion selection, promotion
+on the critical path.
+
+Mechanism: NUMA-hint faults drive *opportunistic promotion with
+exchange*: a faulting capacity-tier page is promoted immediately; if the
+fast tier is full, it is exchanged with the fast-tier page that has the
+lowest N-bit access-history value (LFU victim).  A background demotion
+thread keeps a small free reserve on the fast tier, but that reserve is
+used **only for promotions** -- fresh allocations are directed to the
+capacity tier once DRAM passes its watermark, which is why short-lived
+allocations (603.bwaves) land on slow memory (§6.2.6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.mem.pages import BASE_PAGE_SIZE, HUGE_PAGE_SIZE, SUBPAGES_PER_HUGE
+from repro.mem.tiers import TierKind
+from repro.policies.base import PolicyContext, TieringPolicy, Traits
+
+
+class AutoTieringPolicy(TieringPolicy):
+    """Hint-fault promotion with LFU exchange and reserved headroom."""
+
+    name = "autotiering"
+    traits = Traits(
+        mechanism="page fault",
+        subpage_tracking=False,
+        promotion_metric="recency",
+        demotion_metric="frequency",
+        threshold_criteria="static count (promo) / LFU (demo)",
+        critical_path_migration="promotion",
+        page_size_handling="none",
+    )
+
+    HISTORY_BITS = 8
+
+    def __init__(
+        self,
+        scan_period_ns: float = 12e6,
+        scan_fraction: float = 0.15,
+        reserve_fraction: float = 0.04,
+        alloc_watermark: float = 0.10,
+        exchange_budget_bytes: int = 1024 * 1024,
+    ):
+        super().__init__()
+        self.scan_period_ns = scan_period_ns
+        self.scan_fraction = scan_fraction
+        self.reserve_fraction = reserve_fraction
+        self.alloc_watermark = alloc_watermark
+        self.exchange_budget_bytes = exchange_budget_bytes
+        self._next_scan_ns = 0.0
+        self._scan_cursor = 0
+        self._history = None  # per-vpn N-bit access history (uint8)
+        self._exchange_budget_left = exchange_budget_bytes
+        self.exchanges = 0
+        self.promotions = 0
+
+    def bind(self, ctx: PolicyContext) -> None:
+        super().bind(ctx)
+        self._ensure_protection_mask()
+        self._history = np.zeros(ctx.space.num_vpns, dtype=np.uint8)
+
+    def choose_alloc_tier(self, nbytes: int) -> TierKind:
+        # Reserved fast-tier pages serve promotions only: new data goes to
+        # the capacity tier once DRAM is below the allocation watermark.
+        if self.fast_free_fraction() > self.alloc_watermark:
+            return TierKind.FAST
+        return TierKind.CAPACITY
+
+    # -- scanner: protect a window and age histories -----------------------------
+
+    def on_tick(self, now_ns: float) -> None:
+        if now_ns < self._next_scan_ns:
+            return
+        self._next_scan_ns = now_ns + self.scan_period_ns
+        space = self.ctx.space
+        mapped_vpns = np.flatnonzero(space.page_tier >= 0)
+        if len(mapped_vpns) == 0:
+            return
+        # Age every history vector (shift in a zero for this interval)
+        # and refill the per-interval exchange budget.
+        np.right_shift(self._history, 1, out=self._history)
+        self._exchange_budget_left = self.exchange_budget_bytes
+        window = max(SUBPAGES_PER_HUGE, int(len(mapped_vpns) * self.scan_fraction))
+        start = self._scan_cursor % len(mapped_vpns)
+        take = mapped_vpns[start : start + window]
+        if len(take) < window:
+            take = np.concatenate([take, mapped_vpns[: window - len(take)]])
+        self._scan_cursor = (start + window) % len(mapped_vpns)
+        self.protection_mask[take] = True
+        self._background_demote()
+
+    def _background_demote(self) -> None:
+        """Keep a promotion reserve free by demoting LFU-coldest pages."""
+        tiers = self.ctx.tiers
+        target_free = self.headroom_bytes(self.reserve_fraction)
+        if tiers.fast.free_bytes >= target_free:
+            return
+        space = self.ctx.space
+        fast_vpns = np.flatnonzero(space.page_tier == int(TierKind.FAST))
+        if len(fast_vpns) == 0:
+            return
+        order = np.argsort(self._history[fast_vpns], kind="stable")
+        need = target_free - tiers.fast.free_bytes
+        for vpn in fast_vpns[order].tolist():
+            if need <= 0:
+                break
+            if space.page_tier[vpn] != int(TierKind.FAST):
+                continue
+            nbytes = HUGE_PAGE_SIZE if space.page_huge[vpn] else BASE_PAGE_SIZE
+            self.ctx.migrator.migrate_page(vpn, TierKind.CAPACITY, critical=False)
+            need -= nbytes
+
+    # -- fault handler ---------------------------------------------------------
+
+    def on_hint_faults(self, vpns: np.ndarray) -> float:
+        space = self.ctx.space
+        critical_ns = 0.0
+        top_bit = np.uint8(1 << (self.HISTORY_BITS - 1))
+        for vpn in vpns.tolist():
+            if space.page_huge[vpn]:
+                head = (vpn >> 9) << 9
+                self.protection_mask[head : head + SUBPAGES_PER_HUGE] = False
+                self._history[head] |= top_bit
+                rep = head
+            else:
+                self.protection_mask[vpn] = False
+                self._history[vpn] |= top_bit
+                rep = vpn
+            if space.page_tier[rep] != int(TierKind.CAPACITY):
+                continue
+            nbytes = HUGE_PAGE_SIZE if space.page_huge[rep] else BASE_PAGE_SIZE
+            if self.ctx.tiers.fast.can_alloc(nbytes):
+                critical_ns += self.ctx.migrator.migrate_page(
+                    rep, TierKind.FAST, critical=True
+                )
+                self.promotions += 1
+            else:
+                critical_ns += self._exchange(rep, nbytes)
+        return critical_ns
+
+    def _exchange(self, vpn: int, nbytes: int) -> float:
+        """Swap the faulting page with the LFU-coldest fast-tier page.
+
+        Exchanges happen on the fault path (critical); a per-interval
+        byte budget keeps the induced latency bounded, as the original
+        system's migration throttling does.
+        """
+        if self._exchange_budget_left < 2 * nbytes:
+            return 0.0
+        space = self.ctx.space
+        fast_vpns = np.flatnonzero(space.page_tier == int(TierKind.FAST))
+        if len(fast_vpns) == 0:
+            return 0.0
+        victim = int(fast_vpns[np.argmin(self._history[fast_vpns])])
+        # Never exchange with a hotter page.
+        if self._history[victim] >= self._history[vpn]:
+            return 0.0
+        ns = self.ctx.migrator.migrate_page(victim, TierKind.CAPACITY, critical=True)
+        if self.ctx.tiers.fast.can_alloc(nbytes):
+            ns += self.ctx.migrator.migrate_page(vpn, TierKind.FAST, critical=True)
+            self.exchanges += 1
+        self._exchange_budget_left -= 2 * nbytes
+        return ns
+
+    def on_unmap(self, base_vpn: int, num_vpns: int) -> None:
+        if self.protection_mask is not None:
+            self.protection_mask[base_vpn : base_vpn + num_vpns] = False
+        if self._history is not None:
+            self._history[base_vpn : base_vpn + num_vpns] = 0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "promotions": float(self.promotions),
+            "exchanges": float(self.exchanges),
+        }

@@ -1,0 +1,196 @@
+"""Policy interface: what a tiering system can see and do.
+
+A policy never reads the raw access trace.  It observes:
+
+* **PEBS samples** (``uses_pebs = True``): the engine runs a
+  :class:`repro.pebs.sampler.PEBSSampler` and attaches the sampled
+  records to each observation;
+* **hint faults**: the policy marks pages in ``protection_mask``; when
+  the application touches a protected page, the engine charges the
+  fault cost into the runtime and calls :meth:`on_hint_faults` -- the
+  handler may migrate on the spot (returning critical-path ns), which
+  is precisely the fault-path promotion the paper criticises (§2.2);
+* **reference bits**: ``ctx.space.ref_bit`` is set by the engine for
+  touched pages; scanning policies read-and-clear it during
+  :meth:`on_tick` and pay a modelled scan cost.
+
+All mutation goes through ``ctx.migrator`` so traffic and latency are
+accounted uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.migration import MigrationEngine
+from repro.mem.tiers import TieredMemory, TierKind
+from repro.mem.tlb import TLB
+from repro.pebs.events import AccessBatch
+from repro.pebs.sampler import PEBSSampler, SampleBatch
+
+
+def scaled_headroom(capacity_bytes: int, fraction: float) -> int:
+    """Free-space target with a scale floor.
+
+    At paper scale a 2% headroom on a multi-GB fast tier is tens of huge
+    pages; at simulation scale 2% of a small DRAM can round to less than
+    one huge page, deadlocking promotion and starving short-lived
+    allocations.  The floor keeps the headroom at least a couple of huge
+    pages (capped at 15% of DRAM for tiny configurations).
+    """
+    floor = min(2 * 1024 * 1024, int(capacity_bytes * 0.15))
+    return max(int(capacity_bytes * fraction), floor)
+
+
+@dataclass(frozen=True)
+class Traits:
+    """Qualitative traits of a policy: one row of the paper's Table 1."""
+
+    mechanism: str
+    subpage_tracking: bool
+    promotion_metric: str
+    demotion_metric: str
+    threshold_criteria: str
+    critical_path_migration: str
+    page_size_handling: str
+
+
+@dataclass
+class PolicyContext:
+    """Everything a bound policy may touch."""
+
+    space: AddressSpace
+    tiers: TieredMemory
+    migrator: MigrationEngine
+    tlb: TLB
+    machine: "object"  # MachineSpec; typed loosely to avoid a sim import cycle
+    rng: np.random.Generator
+    sampler: Optional[PEBSSampler] = None
+    hint_fault_ns: float = 1_800.0
+
+
+@dataclass
+class BatchObservation:
+    """Per-batch information the engine hands to a policy."""
+
+    batch: AccessBatch
+    unique_vpns: np.ndarray
+    counts: np.ndarray
+    samples: Optional[SampleBatch]
+    now_ns: float
+    batch_wall_ns: float
+
+
+class TieringPolicy(abc.ABC):
+    """Base class for all tiering systems."""
+
+    #: Registry / display name; subclasses override.
+    name: str = "abstract"
+    #: Table 1 row; subclasses override.
+    traits: Traits = Traits(
+        mechanism="-",
+        subpage_tracking=False,
+        promotion_metric="-",
+        demotion_metric="-",
+        threshold_criteria="-",
+        critical_path_migration="-",
+        page_size_handling="-",
+    )
+    #: When True the engine attaches PEBS samples to observations.
+    uses_pebs: bool = False
+
+    def __init__(self):
+        self.ctx: Optional[PolicyContext] = None
+        #: Optional per-vpn protection mask for hint-fault tracking.
+        self.protection_mask: Optional[np.ndarray] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def bind(self, ctx: PolicyContext) -> None:
+        """Attach to a machine.  Subclasses should call super().bind()."""
+        self.ctx = ctx
+        ctx.space.add_unmap_listener(self.on_unmap)
+
+    def sampler_config(self):
+        """Sampler configuration for ``uses_pebs`` policies (or None)."""
+        return None
+
+    # -- allocation placement --------------------------------------------------
+
+    def choose_alloc_tier(self, nbytes: int) -> TierKind:
+        """Preferred tier for a fresh allocation (fast-first by default).
+
+        The preference is stated once per region; the address space
+        still applies *per-chunk* node fallback, so a large region fills
+        the remaining fast-tier space first and spills to the capacity
+        tier -- the Linux local-node-first allocation behaviour.
+        """
+        return TierKind.FAST
+
+    def on_region_alloc(self, region) -> None:
+        """A region was allocated and mapped (policy may pin/track it)."""
+
+    # -- observation hooks -------------------------------------------------------
+
+    def on_batch(self, obs: BatchObservation) -> float:
+        """Observe one batch; return extra critical-path ns (default 0)."""
+        return 0.0
+
+    def on_hint_faults(self, vpns: np.ndarray) -> float:
+        """Handle hint faults on protected pages; return critical ns."""
+        return 0.0
+
+    def on_tick(self, now_ns: float) -> None:
+        """Background daemon hook, called once per batch with sim time."""
+
+    def on_unmap(self, base_vpn: int, num_vpns: int) -> None:
+        """A virtual range was freed; clear any per-page policy state."""
+
+    def on_demand_map(self, vpns: np.ndarray) -> None:
+        """Base pages were demand-mapped on first touch after a split
+        freed them; policies tracking per-page state may seed it here."""
+
+    # -- reporting ----------------------------------------------------------------
+
+    def cpu_contention_factor(self) -> float:
+        """Runtime multiplier for service threads competing with the app.
+
+        The default policy costs nothing; HeMem's always-on sampling
+        thread returns > 1 when the application saturates all cores
+        (§6.2.1 "high CPU usage (~100%) of the sampling thread").
+        """
+        return 1.0
+
+    def stats(self) -> Dict[str, float]:
+        """Policy-specific snapshot merged into timeline points."""
+        return {}
+
+    # -- helpers shared by subclasses ----------------------------------------------
+
+    def _ensure_protection_mask(self) -> np.ndarray:
+        if self.protection_mask is None:
+            self.protection_mask = np.zeros(self.ctx.space.num_vpns, dtype=bool)
+        return self.protection_mask
+
+    def fast_free_fraction(self) -> float:
+        fast = self.ctx.tiers.fast
+        return fast.free_bytes / fast.capacity_bytes
+
+    def headroom_bytes(self, fraction: float) -> int:
+        """Scale-floored free-space target (see :func:`scaled_headroom`)."""
+        return scaled_headroom(self.ctx.tiers.fast.capacity_bytes, fraction)
+
+    def page_rep_vpn(self, vpn: int) -> int:
+        """Representative vpn of the mapping covering ``vpn``.
+
+        For a huge mapping this is the 2 MiB-aligned head, so sets of
+        representative vpns deduplicate subpage events onto pages.
+        """
+        if self.ctx.space.page_huge[vpn]:
+            return (vpn >> 9) << 9
+        return vpn

@@ -1,0 +1,74 @@
+"""Policy registry: build any tiering system by name.
+
+The names follow the paper's figures; ``memtis-ns`` (no split) and
+``memtis-vanilla`` (no split, no warm set) are the Fig. 10/11 ablation
+variants.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.policies.autonuma import AutoNUMAPolicy
+from repro.policies.autotiering import AutoTieringPolicy
+from repro.policies.base import TieringPolicy
+from repro.policies.hemem import HeMemPolicy
+from repro.policies.multiclock import MultiClockPolicy
+from repro.policies.nimble import NimblePolicy
+from repro.policies.static import AllCapacityPolicy, AllFastPolicy
+from repro.policies.tiering08 import Tiering08Policy
+from repro.policies.thermostat import ThermostatPolicy
+from repro.policies.tmts import TMTSPolicy
+from repro.policies.tpp import TPPPolicy
+
+def _memtis(**kw) -> TieringPolicy:
+    # Imported lazily: repro.core depends on repro.policies.base, so a
+    # top-level import here would be circular.
+    from repro.core.policy import MemtisPolicy
+
+    return MemtisPolicy(**kw)
+
+
+POLICY_REGISTRY: Dict[str, Callable[..., TieringPolicy]] = {
+    "all-capacity": AllCapacityPolicy,
+    "all-fast": AllFastPolicy,
+    "autonuma": AutoNUMAPolicy,
+    "autotiering": AutoTieringPolicy,
+    "tiering-0.8": Tiering08Policy,
+    "tpp": TPPPolicy,
+    "nimble": NimblePolicy,
+    "multi-clock": MultiClockPolicy,
+    "tmts": TMTSPolicy,
+    "thermostat": ThermostatPolicy,
+    "hemem": HeMemPolicy,
+    "memtis": _memtis,
+    "memtis-ns": lambda **kw: _memtis(enable_split=False, **kw),
+    "memtis-vanilla": lambda **kw: _memtis(
+        enable_split=False, enable_warm_set=False, **kw
+    ),
+}
+
+#: The six comparison systems of Fig. 5, in paper legend order.
+FIG5_POLICIES: List[str] = [
+    "autonuma",
+    "autotiering",
+    "tiering-0.8",
+    "tpp",
+    "nimble",
+    "hemem",
+    "memtis",
+]
+
+
+def policy_names() -> List[str]:
+    return sorted(POLICY_REGISTRY)
+
+
+def make_policy(name: str, **kwargs) -> TieringPolicy:
+    try:
+        factory = POLICY_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {sorted(POLICY_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,157 @@
+"""TPP -- Transparent Page Placement (ASPLOS'23, Meta) baseline.
+
+Table 1 row: page-fault tracking, recency+frequency promotion (2Q LRU
+extension: promote on the second access), recency demotion, static
+access-count threshold (two), promotion on the critical path.
+
+Mechanism: allocations target the fast tier while a demotion daemon
+keeps free headroom there (Meta's production design for the 2:1
+configuration, §6.2.8); capacity-tier pages are tracked with hint
+faults and promoted -- in the fault handler -- once they fault twice.
+The known weakness the paper exploits (§6.2.3): the coarse 2Q
+classification identifies *more* hot pages than DRAM can hold in small
+fast-tier configurations, so TPP keeps shuttling pages between tiers
+instead of pinning the truly hottest set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.mem.pages import BASE_PAGE_SIZE, HUGE_PAGE_SIZE, SUBPAGES_PER_HUGE
+from repro.mem.tiers import TierKind
+from repro.policies.base import PolicyContext, TieringPolicy, Traits
+
+
+class TPPPolicy(TieringPolicy):
+    """Fast-tier-first allocation, promote-on-second-fault, LRU demotion."""
+
+    name = "tpp"
+    traits = Traits(
+        mechanism="page fault",
+        subpage_tracking=False,
+        promotion_metric="recency + frequency",
+        demotion_metric="recency",
+        threshold_criteria="static access count",
+        critical_path_migration="promotion",
+        page_size_handling="none",
+    )
+
+    PROMOTION_THRESHOLD = 2  # faults before promotion
+
+    def __init__(
+        self,
+        scan_period_ns: float = 12e6,
+        scan_fraction: float = 0.15,
+        free_headroom: float = 0.02,
+        fault_count_decay_ns: float = 400e6,
+    ):
+        super().__init__()
+        self.scan_period_ns = scan_period_ns
+        self.scan_fraction = scan_fraction
+        self.free_headroom = free_headroom
+        self.fault_count_decay_ns = fault_count_decay_ns
+        self._next_scan_ns = 0.0
+        self._next_decay_ns = fault_count_decay_ns
+        self._scan_cursor = 0
+        self._fault_count = None
+        self.promotions = 0
+        self.demotions = 0
+
+    def bind(self, ctx: PolicyContext) -> None:
+        super().bind(ctx)
+        self._ensure_protection_mask()
+        self._fault_count = np.zeros(ctx.space.num_vpns, dtype=np.int16)
+
+    def choose_alloc_tier(self, nbytes: int) -> TierKind:
+        # New pages go to DRAM; the demotion daemon maintains headroom.
+        return TierKind.FAST
+
+    # -- scanning + background demotion ------------------------------------------
+
+    def on_tick(self, now_ns: float) -> None:
+        if now_ns >= self._next_decay_ns:
+            # 2Q aging: forget old fault history so "second fault" means
+            # "second fault recently".
+            self._next_decay_ns = now_ns + self.fault_count_decay_ns
+            np.right_shift(self._fault_count, 1, out=self._fault_count)
+        if now_ns < self._next_scan_ns:
+            return
+        self._next_scan_ns = now_ns + self.scan_period_ns
+        space = self.ctx.space
+        # TPP tracks only capacity-tier (CXL/NVM) pages with hint faults.
+        cap_vpns = np.flatnonzero(space.page_tier == int(TierKind.CAPACITY))
+        if len(cap_vpns):
+            window = max(SUBPAGES_PER_HUGE, int(len(cap_vpns) * self.scan_fraction))
+            start = self._scan_cursor % len(cap_vpns)
+            take = cap_vpns[start : start + window]
+            if len(take) < window:
+                take = np.concatenate([take, cap_vpns[: window - len(take)]])
+            self._scan_cursor = (start + window) % len(cap_vpns)
+            self.protection_mask[take] = True
+        self._demote_for_headroom()
+
+    def _demote_for_headroom(self) -> None:
+        tiers = self.ctx.tiers
+        target = self.headroom_bytes(self.free_headroom)
+        if tiers.fast.free_bytes >= target:
+            return
+        space = self.ctx.space
+        fast_vpns = np.flatnonzero(space.page_tier == int(TierKind.FAST))
+        if len(fast_vpns) == 0:
+            return
+        # LRU approximation: only *inactive* (non-referenced) pages are
+        # demotion candidates; when the whole fast tier is active the
+        # demotion daemon stalls, exactly like an empty inactive list.
+        inactive = fast_vpns[~space.ref_bit[fast_vpns]]
+        need = target - tiers.fast.free_bytes
+        for vpn in inactive.tolist():
+            if need <= 0:
+                break
+            if space.page_tier[vpn] != int(TierKind.FAST):
+                continue
+            nbytes = HUGE_PAGE_SIZE if space.page_huge[vpn] else BASE_PAGE_SIZE
+            self.ctx.migrator.migrate_page(vpn, TierKind.CAPACITY, critical=False)
+            self.demotions += 1
+            need -= nbytes
+        space.ref_bit[fast_vpns] = False
+
+    # -- fault handler ---------------------------------------------------------------
+
+    def on_hint_faults(self, vpns: np.ndarray) -> float:
+        space = self.ctx.space
+        critical_ns = 0.0
+        for vpn in vpns.tolist():
+            rep = self.page_rep_vpn(vpn)
+            if space.page_huge[vpn]:
+                self.protection_mask[rep : rep + SUBPAGES_PER_HUGE] = False
+            else:
+                self.protection_mask[vpn] = False
+            self._fault_count[rep] += 1
+            if space.page_tier[rep] != int(TierKind.CAPACITY):
+                continue
+            if self._fault_count[rep] < self.PROMOTION_THRESHOLD:
+                continue
+            nbytes = HUGE_PAGE_SIZE if space.page_huge[rep] else BASE_PAGE_SIZE
+            if not self.ctx.tiers.fast.can_alloc(nbytes):
+                continue
+            critical_ns += self.ctx.migrator.migrate_page(
+                rep, TierKind.FAST, critical=True
+            )
+            self._fault_count[rep] = 0
+            self.promotions += 1
+        return critical_ns
+
+    def on_unmap(self, base_vpn: int, num_vpns: int) -> None:
+        if self.protection_mask is not None:
+            self.protection_mask[base_vpn : base_vpn + num_vpns] = False
+        if self._fault_count is not None:
+            self._fault_count[base_vpn : base_vpn + num_vpns] = 0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "promotions": float(self.promotions),
+            "demotions": float(self.demotions),
+        }

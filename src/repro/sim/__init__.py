@@ -1,0 +1,28 @@
+"""Simulator engine: machine specs, cost model, metrics, and the driver.
+
+The engine is trace-driven and batch-vectorised: workloads emit batches
+of page-granularity accesses, the engine charges memory/translation/fault
+costs against a virtual clock, and tiering policies observe exactly what
+their real mechanism would observe (PEBS samples, hint faults, reference
+bits) -- never the full trace.
+"""
+
+from repro.sim.machine import MachineSpec, ScaleSpec, TIERING_RATIOS
+from repro.sim.cost import CostModel
+from repro.sim.metrics import MetricsCollector, TimelinePoint
+from repro.sim.engine import Simulation, SimResult
+from repro.sim.runner import run_experiment, run_normalized, normalized_performance
+
+__all__ = [
+    "MachineSpec",
+    "ScaleSpec",
+    "TIERING_RATIOS",
+    "CostModel",
+    "MetricsCollector",
+    "TimelinePoint",
+    "Simulation",
+    "SimResult",
+    "run_experiment",
+    "run_normalized",
+    "normalized_performance",
+]

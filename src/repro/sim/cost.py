@@ -1,0 +1,97 @@
+"""Runtime cost model: what one simulated nanosecond means.
+
+``runtime = (compute + memory + translation + fault/critical-path work)
+x contention``.  Components:
+
+* **compute**: fixed per-access CPU work representing the non-memory
+  instructions between misses; keeps tier-latency gains in a realistic
+  relative range instead of letting memory latency be 100% of runtime.
+* **memory**: per-access tier latency (load/store tables), divided by a
+  memory-level-parallelism factor -- out-of-order cores overlap misses,
+  so effective stall time is a fraction of raw latency.  MLP scales all
+  configurations equally and cancels in the paper-style normalised
+  results.
+* **translation**: page-walk levels charged on TLB misses (per-level
+  memory reference cost), computed exactly on the TLB substream and
+  scaled by the stride.
+* **fault**: minor/hint-fault entry cost plus any critical-path
+  migration latency a fault-driven policy incurs (§2.2 "migrate pages
+  in the page fault handler, adding non-negligible latency").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mem.migration import MigrationCostParams
+from repro.mem.tiers import TieredMemory
+
+
+@dataclass
+class CostModel:
+    """Cost constants plus the per-run latency tables."""
+
+    compute_ns_per_access: float = 20.0
+    mlp_factor: float = 2.0
+    walk_level_ns: float = 25.0
+    hint_fault_ns: float = 1_800.0
+    migration: MigrationCostParams = field(default_factory=MigrationCostParams)
+    #: Opt-in capacity-tier bandwidth contention: Optane-class memory
+    #: saturates at a fraction of DRAM bandwidth, inflating its latency
+    #: under load (M/M/1-style 1/(1-rho), rho capped).  Off by default
+    #: so the headline reproduction stays a pure two-latency model.
+    bandwidth_model: bool = False
+    access_bytes: int = 64
+    max_utilization: float = 0.90
+
+    def bind(self, tiers: TieredMemory) -> "BoundCostModel":
+        return BoundCostModel(self, tiers)
+
+
+class BoundCostModel:
+    """Cost model specialised to a tier pair (latency tables baked)."""
+
+    def __init__(self, model: CostModel, tiers: TieredMemory):
+        self.model = model
+        self.tiers = tiers
+        self.load_table = tiers.load_latency_table() / model.mlp_factor
+        self.store_table = tiers.store_latency_table() / model.mlp_factor
+
+    def memory_ns(self, tier_per_access: np.ndarray, is_store: np.ndarray) -> float:
+        """Vectorised stall time of one batch given per-access tiers.
+
+        With the opt-in bandwidth model, the capacity-tier component is
+        inflated by ``1/(1-rho)`` where rho is the tier's bandwidth
+        utilisation estimated from this batch's demand -- the Optane
+        saturation effect that widens tiering gaps on real hardware.
+        """
+        load_ns = self.load_table[tier_per_access]
+        store_ns = self.store_table[tier_per_access]
+        per_access = np.where(is_store, store_ns, load_ns)
+        total = float(per_access.sum())
+        if not self.model.bandwidth_model:
+            return total
+        cap_mask = tier_per_access == 1
+        n_cap = int(np.count_nonzero(cap_mask))
+        if n_cap == 0 or total <= 0:
+            return total
+        cap_component = float(per_access[cap_mask].sum())
+        demand_gbps = n_cap * self.model.access_bytes / total  # bytes/ns == GB/s
+        rho = min(
+            self.model.max_utilization,
+            demand_gbps / self.tiers.capacity.spec.bandwidth_gbps,
+        )
+        inflation = 1.0 / (1.0 - rho)
+        return total + cap_component * (inflation - 1.0)
+
+    def compute_ns(self, num_accesses: int) -> float:
+        return num_accesses * self.model.compute_ns_per_access
+
+    def walk_ns(self, walk_levels: int, stride: int) -> float:
+        """Translation stall for ``walk_levels`` observed at ``stride``."""
+        return walk_levels * self.model.walk_level_ns * stride / self.model.mlp_factor
+
+    def fault_ns(self, num_faults: int) -> float:
+        return num_faults * self.model.hint_fault_ns

@@ -1,0 +1,313 @@
+"""Trace-driven simulation engine.
+
+The engine wires one workload, one policy and one machine together and
+runs the event stream:
+
+1. allocation events map regions (policy chooses the preferred tier,
+   address space applies node fallback);
+2. access batches are charged vectorised memory/compute cost, an exact
+   strided-TLB translation cost, and hint-fault cost where the policy
+   protected pages;
+3. the policy observes its mechanism's view (samples / faults / ref
+   bits) and may migrate -- critical-path migrations extend the runtime,
+   background ones do not;
+4. the virtual clock advances and background daemons tick.
+
+The engine enforces the paper's asymmetry: *the application pays for
+what happens on its critical path and nothing else.*
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.mem.address_space import AddressSpace, Region
+from repro.mem.migration import MigrationEngine, MigrationStats
+from repro.mem.tiers import TieredMemory, TierKind
+from repro.mem.tlb import TLB, TLBConfig, TLBStats
+from repro.pebs.events import AccessBatch
+from repro.pebs.sampler import PEBSSampler, SamplerConfig
+from repro.policies.base import BatchObservation, PolicyContext, TieringPolicy
+from repro.sim.cost import BoundCostModel, CostModel
+from repro.sim.machine import MachineSpec
+from repro.sim.metrics import MetricsCollector
+from repro.workloads.base import AccessEvent, AllocEvent, FreeEvent, Workload
+
+
+@dataclass
+class SimResult:
+    """Everything a run produced."""
+
+    workload_name: str
+    policy_name: str
+    machine: MachineSpec
+    metrics: MetricsCollector
+    migration: MigrationStats
+    tlb: TLBStats
+    final_rss_bytes: int
+    final_touched_bytes: int
+    huge_page_ratio: float
+    policy_stats: Dict[str, float]
+    sampler_stats: Dict[str, float]
+    wall_seconds: float
+
+    @property
+    def runtime_ns(self) -> float:
+        return self.metrics.runtime_ns
+
+    @property
+    def fast_hit_ratio(self) -> float:
+        return self.metrics.fast_hit_ratio
+
+    @property
+    def throughput_maps(self) -> float:
+        """Simulated throughput in mega-accesses per second."""
+        if self.runtime_ns <= 0:
+            return 0.0
+        return self.metrics.total_accesses / self.runtime_ns * 1e3
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "runtime_ms": self.runtime_ns / 1e6,
+            "fast_hit_ratio": self.fast_hit_ratio,
+            "traffic_mb": self.migration.traffic_bytes / 1e6,
+            "rss_mb": self.final_rss_bytes / 1e6,
+            "tlb_miss_ratio": self.tlb.miss_ratio,
+        }
+
+
+class Simulation:
+    """One workload x policy x machine run."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        policy: TieringPolicy,
+        machine: MachineSpec,
+        cost_model: Optional[CostModel] = None,
+        tlb_config: Optional[TLBConfig] = None,
+        seed: int = 42,
+        timeline_interval_ns: float = 20e6,
+        force_base_pages: bool = False,
+        validate_every: int = 0,
+    ):
+        self.workload = workload
+        self.policy = policy
+        self.machine = machine
+        self.cost_model = cost_model or CostModel()
+        self.seed = seed
+        #: When True, THP is disabled: every region maps base pages only
+        #: (the "All-DRAM w/o THP" reference in Fig. 7).
+        self.force_base_pages = force_base_pages
+        #: Debug mode: cross-check the mapping mirrors against the radix
+        #: page table every N batches (0 disables; expensive).
+        self.validate_every = validate_every
+        self._batches_processed = 0
+
+        self.tiers: TieredMemory = machine.build_tiers()
+        self.space = AddressSpace(self.tiers)
+        self.tlb = TLB(tlb_config or TLBConfig())
+        self.migrator = MigrationEngine(
+            self.space, tlb=self.tlb, params=self.cost_model.migration
+        )
+        self.bound_cost: BoundCostModel = self.cost_model.bind(self.tiers)
+        self.metrics = MetricsCollector(timeline_interval_ns=timeline_interval_ns)
+        self.now_ns = 0.0
+        self.rng = np.random.default_rng(seed)
+        self._regions: Dict[str, Region] = {}
+
+        sampler = None
+        if policy.uses_pebs:
+            sampler = PEBSSampler(policy.sampler_config() or SamplerConfig())
+        self.sampler = sampler
+
+        self.ctx = PolicyContext(
+            space=self.space,
+            tiers=self.tiers,
+            migrator=self.migrator,
+            tlb=self.tlb,
+            machine=machine,
+            rng=np.random.default_rng(seed + 1),
+            sampler=sampler,
+            hint_fault_ns=self.cost_model.hint_fault_ns,
+        )
+        policy.bind(self.ctx)
+
+    # -- event handling ------------------------------------------------------
+
+    def _handle_alloc(self, event: AllocEvent) -> None:
+        if event.key in self._regions:
+            raise ValueError(f"region key {event.key!r} already allocated")
+        # The policy states its preference once per region; the address
+        # space still applies per-chunk node fallback when a tier fills.
+        preferred = self.policy.choose_alloc_tier(event.nbytes)
+        region = self.space.alloc_region(
+            event.nbytes,
+            name=event.key,
+            thp=event.thp and not self.force_base_pages,
+            tier_chooser=lambda _chunk_bytes: preferred,
+        )
+        self._regions[event.key] = region
+        self.policy.on_region_alloc(region)
+
+    def _handle_free(self, event: FreeEvent) -> None:
+        region = self._regions.pop(event.key, None)
+        if region is None:
+            raise KeyError(f"free of unknown region {event.key!r}")
+        self.space.free_region(region)
+
+    def _rebase(self, event: AccessEvent) -> AccessBatch:
+        parts = []
+        for key, rel_batch in event.segments:
+            region = self._regions.get(key)
+            if region is None:
+                raise KeyError(f"access to unknown region {key!r}")
+            if len(rel_batch) and int(rel_batch.vpn.max()) >= region.num_vpns:
+                raise IndexError(
+                    f"workload access beyond region {key!r} "
+                    f"({int(rel_batch.vpn.max())} >= {region.num_vpns})"
+                )
+            parts.append(rel_batch.rebased(region.base_vpn))
+        batch = AccessBatch.concat(parts)
+        if event.interleave and len(batch) > 1:
+            order = self.rng.permutation(len(batch))
+            batch = AccessBatch(batch.vpn[order], batch.is_store[order])
+        return batch
+
+    def _process_batch(self, batch: AccessBatch) -> None:
+        n = len(batch)
+        if n == 0:
+            return
+        space = self.space
+        space.record_touch(batch.vpn)
+
+        # Demand faults: first touch of pages freed by a huge-page split
+        # maps a fresh zero base page (minor-fault cost, charged below).
+        tier_per_access = space.page_tier[batch.vpn]
+        demand_fault_ns = 0.0
+        if np.any(tier_per_access < 0):
+            missing = np.unique(batch.vpn[tier_per_access < 0])
+            preferred = self.policy.choose_alloc_tier(len(missing) * 4096)
+            for vpn in missing.tolist():
+                space.demand_map(int(vpn), preferred)
+            self.policy.on_demand_map(missing)
+            demand_fault_ns = self.bound_cost.fault_ns(len(missing))
+            tier_per_access = space.page_tier[batch.vpn]
+        mem_ns = self.bound_cost.memory_ns(tier_per_access, batch.is_store)
+        compute_ns = self.bound_cost.compute_ns(n)
+        fast_hits = int(np.count_nonzero(tier_per_access == int(TierKind.FAST)))
+
+        # Translation cost: exact TLB on the strided substream.
+        stride = self.tlb.config.sample_stride
+        sub = batch.vpn[::stride]
+        walk_levels = self.tlb.access_substream(sub, space.page_huge[sub])
+        walk_ns = self.bound_cost.walk_ns(walk_levels, stride)
+
+        # Hint faults on protected pages: entry cost + handler migrations.
+        fault_ns = demand_fault_ns
+        critical_ns = 0.0
+        num_faults = 0
+        mask = self.policy.protection_mask
+        if mask is not None:
+            hit = mask[batch.vpn]
+            if hit.any():
+                touched = batch.vpn[hit]
+                # One fault per *mapping*: a protected huge page faults
+                # once for all 512 subpage vpns.
+                heads = np.where(
+                    space.page_huge[touched], (touched >> 9) << 9, touched
+                )
+                faulted = np.unique(heads)
+                num_faults = len(faulted)
+                fault_ns += self.bound_cost.fault_ns(num_faults)
+                critical_ns += self.policy.on_hint_faults(faulted)
+
+        # Policy observation.
+        unique_vpns, counts = np.unique(batch.vpn, return_counts=True)
+        samples = self.sampler.sample(batch) if self.sampler is not None else None
+        batch_wall_ns = mem_ns + compute_ns + walk_ns + fault_ns + critical_ns
+        obs = BatchObservation(
+            batch=batch,
+            unique_vpns=unique_vpns,
+            counts=counts,
+            samples=samples,
+            now_ns=self.now_ns,
+            batch_wall_ns=batch_wall_ns,
+        )
+        critical_ns += self.policy.on_batch(obs)
+
+        # Contention from always-on service threads (e.g. HeMem's sampler).
+        total_ns = mem_ns + compute_ns + walk_ns + fault_ns + critical_ns
+        contention_extra = total_ns * (self.policy.cpu_contention_factor() - 1.0)
+
+        self.metrics.record_batch(
+            accesses=n,
+            fast_hits=fast_hits,
+            mem_ns=mem_ns,
+            compute_ns=compute_ns,
+            walk_ns=walk_ns,
+            fault_ns=fault_ns,
+            critical_policy_ns=critical_ns,
+            contention_extra_ns=contention_extra,
+            hint_faults=num_faults,
+        )
+        self.now_ns += total_ns + contention_extra
+
+        self.policy.on_tick(self.now_ns)
+        self._batches_processed += 1
+        if self.validate_every and self._batches_processed % self.validate_every == 0:
+            space.check_consistency()
+        self.metrics.maybe_snapshot(
+            self.now_ns,
+            rss_bytes=space.rss_bytes,
+            fast_used_bytes=self.tiers.fast.used_bytes,
+            policy_stats_fn=self.policy.stats,
+        )
+
+    # -- driver ------------------------------------------------------------------
+
+    def run(self, max_accesses: Optional[int] = None) -> SimResult:
+        """Drive the workload to completion (or an access budget)."""
+        budget = max_accesses if max_accesses is not None else float("inf")
+        wall_start = time.perf_counter()
+        for event in self.workload.events(np.random.default_rng(self.seed + 2)):
+            if isinstance(event, AllocEvent):
+                self._handle_alloc(event)
+            elif isinstance(event, FreeEvent):
+                self._handle_free(event)
+            elif isinstance(event, AccessEvent):
+                self._process_batch(self._rebase(event))
+                if self.metrics.total_accesses >= budget:
+                    break
+            else:
+                raise TypeError(f"unknown workload event {event!r}")
+        wall_seconds = time.perf_counter() - wall_start
+
+        sampler_stats: Dict[str, float] = {}
+        if self.sampler is not None:
+            sampler_stats = {
+                "total_samples": float(self.sampler.total_samples),
+                "total_events": float(self.sampler.total_events),
+                "dropped_samples": float(self.sampler.dropped_samples),
+                "load_period": float(self.sampler.load_period),
+                "store_period": float(self.sampler.store_period),
+            }
+
+        return SimResult(
+            workload_name=self.workload.name,
+            policy_name=self.policy.name,
+            machine=self.machine,
+            metrics=self.metrics,
+            migration=self.migrator.stats,
+            tlb=self.tlb.stats,
+            final_rss_bytes=self.space.rss_bytes,
+            final_touched_bytes=self.space.touched_bytes,
+            huge_page_ratio=self.space.huge_page_ratio(),
+            policy_stats=self.policy.stats(),
+            sampler_stats=sampler_stats,
+            wall_seconds=wall_seconds,
+        )

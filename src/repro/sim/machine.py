@@ -1,0 +1,158 @@
+"""Machine and scale specifications for experiments.
+
+The paper's testbed (§6.1): dual-socket Xeon Gold 5218R (20 cores used),
+6x16 GB DDR4 + 6x128 GB Optane DCPMM per socket; tiering ratios 1:2,
+1:8, 1:16 (fast:capacity), plus 2:1 for the Meta-style scenario (§6.2.8).
+"In the 1:2 configuration, the fast tier size is set to 33% (1/3) of the
+resident set size (RSS) ... in the 1:16 configuration it is 5.9% (1/17)"
+-- i.e. fast = RSS * f/(f+c) for ratio f:c.
+
+We run at laptop scale, so every experiment states its *paper* sizes and
+derives simulated sizes through one :class:`ScaleSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.mem.pages import HUGE_PAGE_SIZE
+from repro.mem.tiers import CAPACITY_SPECS, TieredMemory, dram_spec
+
+#: Fast:capacity ratios evaluated in the paper.
+TIERING_RATIOS: Dict[str, Tuple[int, int]] = {
+    "1:2": (1, 2),
+    "1:8": (1, 8),
+    "1:16": (1, 16),
+    "2:1": (2, 1),
+}
+
+MIB = 1024 * 1024
+GIB = 1024 * MIB
+
+
+@dataclass(frozen=True)
+class ScaleSpec:
+    """Mapping from paper sizes (GB-scale) to simulated sizes (MB-scale).
+
+    ``bytes_per_paper_gb`` is the simulated footprint representing one
+    paper gigabyte.  The default (3 MiB per paper GB, floored at
+    ``min_bytes``) turns the paper's 10-123 GB RSS values into
+    128-500 MiB simulated address spaces -- large enough for thousands
+    of huge pages (so histograms and skew statistics are meaningful)
+    while keeping runs fast.
+    """
+
+    bytes_per_paper_gb: int = 3 * MIB
+    accesses_per_paper_gb: int = 150_000
+    min_bytes: int = 128 * MIB
+    min_accesses_per_page: int = 150
+
+    def bytes_for(self, paper_gb: float) -> int:
+        """Simulated bytes for a paper-reported size, huge-page aligned.
+
+        A footprint floor keeps the smallest benchmarks (10-12 GB RSS)
+        from degenerating: without it their 1:8/1:16 fast tiers would
+        hold only one or two huge pages and every placement decision
+        would be all-or-nothing.
+        """
+        raw = max(int(paper_gb * self.bytes_per_paper_gb), self.min_bytes)
+        return max(HUGE_PAGE_SIZE, (raw // HUGE_PAGE_SIZE) * HUGE_PAGE_SIZE)
+
+    def accesses_for(self, paper_gb: float) -> int:
+        """Trace length scaled with footprint so pages get re-visited."""
+        pages = self.bytes_for(paper_gb) // (4 * 1024)
+        return max(
+            int(paper_gb * self.accesses_per_paper_gb),
+            pages * self.min_accesses_per_page,
+        )
+
+
+#: Default scale used by tests and examples; experiments may pass larger.
+DEFAULT_SCALE = ScaleSpec()
+
+#: Reduced scale for pytest-benchmark wrappers.
+BENCH_SCALE = ScaleSpec(
+    bytes_per_paper_gb=1 * MIB,
+    accesses_per_paper_gb=50_000,
+    min_bytes=48 * MIB,
+    min_accesses_per_page=100,
+)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A two-tier machine plus CPU topology for contention modelling."""
+
+    fast_bytes: int
+    capacity_bytes: int
+    capacity_kind: str = "nvm"
+    cores: int = 20
+    app_threads: int = 20
+
+    def __post_init__(self):
+        if self.fast_bytes < HUGE_PAGE_SIZE:
+            raise ValueError("fast tier must hold at least one huge page")
+        if self.capacity_bytes < HUGE_PAGE_SIZE:
+            raise ValueError("capacity tier must hold at least one huge page")
+        if self.capacity_kind not in CAPACITY_SPECS:
+            raise ValueError(
+                f"unknown capacity kind {self.capacity_kind!r}; "
+                f"expected one of {sorted(CAPACITY_SPECS)}"
+            )
+
+    @classmethod
+    def from_ratio(
+        cls,
+        rss_bytes: int,
+        ratio: str = "1:8",
+        capacity_kind: str = "nvm",
+        capacity_slack: float = 1.3,
+        cores: int = 20,
+        app_threads: int = 20,
+    ) -> "MachineSpec":
+        """Size the tiers for a workload RSS at a paper tiering ratio.
+
+        The fast tier gets ``RSS * f/(f+c)``; the capacity tier is sized
+        to hold the whole RSS (the all-capacity baseline must fit) with
+        ``capacity_slack`` headroom for migration churn.
+        """
+        if ratio not in TIERING_RATIOS:
+            raise ValueError(f"unknown ratio {ratio!r}; expected {sorted(TIERING_RATIOS)}")
+        f, c = TIERING_RATIOS[ratio]
+        fast = int(rss_bytes * f / (f + c))
+        fast = max(HUGE_PAGE_SIZE, (fast // HUGE_PAGE_SIZE) * HUGE_PAGE_SIZE)
+        capacity = int(rss_bytes * capacity_slack)
+        capacity = max(HUGE_PAGE_SIZE, -(-capacity // HUGE_PAGE_SIZE) * HUGE_PAGE_SIZE)
+        return cls(
+            fast_bytes=fast,
+            capacity_bytes=capacity,
+            capacity_kind=capacity_kind,
+            cores=cores,
+            app_threads=app_threads,
+        )
+
+    def build_tiers(self) -> TieredMemory:
+        fast = dram_spec(self.fast_bytes)
+        capacity = CAPACITY_SPECS[self.capacity_kind](self.capacity_bytes)
+        return TieredMemory.build(fast, capacity)
+
+    def all_capacity(self) -> "MachineSpec":
+        """Variant with a minimal fast tier: the all-NVM/all-CXL baseline."""
+        return MachineSpec(
+            fast_bytes=HUGE_PAGE_SIZE,
+            capacity_bytes=self.capacity_bytes + self.fast_bytes,
+            capacity_kind=self.capacity_kind,
+            cores=self.cores,
+            app_threads=self.app_threads,
+        )
+
+    def all_fast(self) -> "MachineSpec":
+        """Variant where DRAM holds everything: the all-DRAM reference."""
+        return MachineSpec(
+            fast_bytes=self.capacity_bytes + self.fast_bytes,
+            capacity_bytes=HUGE_PAGE_SIZE,
+            capacity_kind=self.capacity_kind,
+            cores=self.cores,
+            app_threads=self.app_threads,
+        )

@@ -1,0 +1,125 @@
+"""Run metrics: totals and time-series needed by the paper's figures.
+
+The collector records a timeline point roughly every
+``timeline_interval_ns`` of virtual time.  Each point carries the
+window's throughput and fast-tier hit ratio (Fig. 11), the RSS
+(Fig. 11's Btree bloat discussion), and whatever the policy reports via
+``stats()`` -- MEMTIS reports hot/warm/cold set sizes (Fig. 9), HeMem
+reports its classified-hot size (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class TimelinePoint:
+    """One periodic snapshot of the run."""
+
+    now_ns: float
+    window_accesses: int
+    window_ns: float
+    window_fast_hits: int
+    rss_bytes: int
+    fast_used_bytes: int
+    policy_stats: Dict[str, float]
+
+    @property
+    def throughput_mops(self) -> float:
+        """Window throughput in simulated mega-accesses per second."""
+        if self.window_ns <= 0:
+            return 0.0
+        return self.window_accesses / self.window_ns * 1e3
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.window_accesses == 0:
+            return 0.0
+        return self.window_fast_hits / self.window_accesses
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates totals and periodic timeline snapshots."""
+
+    timeline_interval_ns: float = 20e6
+    total_accesses: int = 0
+    total_fast_hits: int = 0
+    mem_ns: float = 0.0
+    compute_ns: float = 0.0
+    walk_ns: float = 0.0
+    fault_ns: float = 0.0
+    critical_policy_ns: float = 0.0
+    contention_extra_ns: float = 0.0
+    num_hint_faults: int = 0
+    timeline: List[TimelinePoint] = field(default_factory=list)
+
+    _window_accesses: int = 0
+    _window_fast_hits: int = 0
+    _window_start_ns: float = 0.0
+
+    @property
+    def runtime_ns(self) -> float:
+        return (
+            self.mem_ns
+            + self.compute_ns
+            + self.walk_ns
+            + self.fault_ns
+            + self.critical_policy_ns
+            + self.contention_extra_ns
+        )
+
+    @property
+    def fast_hit_ratio(self) -> float:
+        if self.total_accesses == 0:
+            return 0.0
+        return self.total_fast_hits / self.total_accesses
+
+    def record_batch(
+        self,
+        accesses: int,
+        fast_hits: int,
+        mem_ns: float,
+        compute_ns: float,
+        walk_ns: float,
+        fault_ns: float,
+        critical_policy_ns: float,
+        contention_extra_ns: float,
+        hint_faults: int,
+    ) -> None:
+        self.total_accesses += accesses
+        self.total_fast_hits += fast_hits
+        self.mem_ns += mem_ns
+        self.compute_ns += compute_ns
+        self.walk_ns += walk_ns
+        self.fault_ns += fault_ns
+        self.critical_policy_ns += critical_policy_ns
+        self.contention_extra_ns += contention_extra_ns
+        self.num_hint_faults += hint_faults
+        self._window_accesses += accesses
+        self._window_fast_hits += fast_hits
+
+    def maybe_snapshot(self, now_ns, rss_bytes, fast_used_bytes, policy_stats_fn) -> None:
+        """Emit a timeline point if the interval elapsed.
+
+        ``policy_stats_fn`` is called lazily -- only when a point is
+        actually recorded -- because policy snapshots can be expensive.
+        """
+        if now_ns - self._window_start_ns < self.timeline_interval_ns:
+            return
+        self.timeline.append(
+            TimelinePoint(
+                now_ns=now_ns,
+                window_accesses=self._window_accesses,
+                window_ns=now_ns - self._window_start_ns,
+                window_fast_hits=self._window_fast_hits,
+                rss_bytes=rss_bytes,
+                fast_used_bytes=fast_used_bytes,
+                policy_stats=dict(policy_stats_fn()),
+            )
+        )
+        self._window_start_ns = now_ns
+        self._window_accesses = 0
+        self._window_fast_hits = 0

@@ -1,0 +1,154 @@
+"""Run helpers: building simulations by name and paper-style normalisation.
+
+The paper reports "relative performance normalized to the performance of
+the all-NVM case with THP enabled" (§6.1).  :func:`run_normalized`
+reproduces that: it runs the workload once on an all-capacity machine
+under the static no-tiering policy and once under the policy of
+interest, and returns ``baseline_runtime / runtime`` (higher is better,
+1.0 = all-capacity performance).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.policies.registry import make_policy
+from repro.policies.static import AllCapacityPolicy
+from repro.sim.engine import Simulation, SimResult
+from repro.sim.machine import DEFAULT_SCALE, MachineSpec, ScaleSpec
+from repro.workloads.registry import make_workload
+
+
+def build_simulation(
+    workload_name: str,
+    policy_name: str,
+    ratio: str = "1:8",
+    capacity_kind: str = "nvm",
+    scale: Optional[ScaleSpec] = None,
+    seed: int = 42,
+    machine: Optional[MachineSpec] = None,
+    policy_kwargs: Optional[dict] = None,
+    **sim_kwargs,
+) -> Simulation:
+    """Construct a simulation from registry names."""
+    scale = scale or DEFAULT_SCALE
+    workload = make_workload(workload_name, scale)
+    if machine is None:
+        machine = MachineSpec.from_ratio(
+            workload.total_bytes, ratio=ratio, capacity_kind=capacity_kind
+        )
+    policy = make_policy(policy_name, **(policy_kwargs or {}))
+    return Simulation(workload, policy, machine, seed=seed, **sim_kwargs)
+
+
+def run_experiment(
+    workload_name: str,
+    policy_name: str,
+    ratio: str = "1:8",
+    capacity_kind: str = "nvm",
+    scale: Optional[ScaleSpec] = None,
+    seed: int = 42,
+    max_accesses: Optional[int] = None,
+    **kwargs,
+) -> SimResult:
+    """Build and run one configuration."""
+    sim = build_simulation(
+        workload_name, policy_name, ratio=ratio, capacity_kind=capacity_kind,
+        scale=scale, seed=seed, **kwargs,
+    )
+    return sim.run(max_accesses=max_accesses)
+
+
+def run_baseline(
+    workload_name: str,
+    ratio: str = "1:8",
+    capacity_kind: str = "nvm",
+    scale: Optional[ScaleSpec] = None,
+    seed: int = 42,
+    max_accesses: Optional[int] = None,
+) -> SimResult:
+    """All-capacity-tier (with THP) run: the paper's 1.0 reference."""
+    scale = scale or DEFAULT_SCALE
+    workload = make_workload(workload_name, scale)
+    machine = MachineSpec.from_ratio(
+        workload.total_bytes, ratio=ratio, capacity_kind=capacity_kind
+    ).all_capacity()
+    sim = Simulation(workload, AllCapacityPolicy(), machine, seed=seed)
+    return sim.run(max_accesses=max_accesses)
+
+
+def run_repeated(
+    workload_name: str,
+    policy_name: str,
+    seeds=(42, 43, 44),
+    ratio: str = "1:8",
+    capacity_kind: str = "nvm",
+    scale: Optional[ScaleSpec] = None,
+    **kwargs,
+) -> Dict[str, object]:
+    """Run one configuration across several seeds, normalised per seed.
+
+    Returns mean/min/max of the normalised performance plus the per-seed
+    results -- the seed-repetition methodology the paper's error bars
+    come from.  Workload traces, sampling phases, and engine shuffles all
+    derive from the seed, so seeds are fully independent replicas.
+    """
+    normalized = []
+    results = []
+    for seed in seeds:
+        baseline = run_baseline(
+            workload_name, ratio=ratio, capacity_kind=capacity_kind,
+            scale=scale, seed=seed,
+        )
+        result = run_experiment(
+            workload_name, policy_name, ratio=ratio,
+            capacity_kind=capacity_kind, scale=scale, seed=seed, **kwargs,
+        )
+        normalized.append(baseline.runtime_ns / result.runtime_ns)
+        results.append(result)
+    return {
+        "mean": sum(normalized) / len(normalized),
+        "min": min(normalized),
+        "max": max(normalized),
+        "per_seed": dict(zip(seeds, normalized)),
+        "results": results,
+    }
+
+
+def normalized_performance(result: SimResult, baseline: SimResult) -> float:
+    """Paper-style normalised performance: baseline runtime / runtime."""
+    if result.runtime_ns <= 0:
+        raise ValueError("result has zero runtime")
+    return baseline.runtime_ns / result.runtime_ns
+
+
+def run_normalized(
+    workload_name: str,
+    policy_name: str,
+    ratio: str = "1:8",
+    capacity_kind: str = "nvm",
+    scale: Optional[ScaleSpec] = None,
+    seed: int = 42,
+    max_accesses: Optional[int] = None,
+    baseline: Optional[SimResult] = None,
+    **kwargs,
+) -> Dict[str, object]:
+    """Run a configuration and normalise against the all-capacity baseline.
+
+    Returns ``{"normalized": float, "result": SimResult, "baseline": SimResult}``.
+    Pass a precomputed ``baseline`` to amortise it across policies.
+    """
+    if baseline is None:
+        baseline = run_baseline(
+            workload_name, ratio=ratio, capacity_kind=capacity_kind,
+            scale=scale, seed=seed, max_accesses=max_accesses,
+        )
+    result = run_experiment(
+        workload_name, policy_name, ratio=ratio, capacity_kind=capacity_kind,
+        scale=scale, seed=seed, max_accesses=max_accesses, **kwargs,
+    )
+    return {
+        "normalized": normalized_performance(result, baseline),
+        "result": result,
+        "baseline": baseline,
+    }

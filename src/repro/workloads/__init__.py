@@ -1,0 +1,30 @@
+"""Synthetic workload generators modelling the paper's eight benchmarks.
+
+Each generator reproduces the published access *shape* of its benchmark
+(phase structure, skew, huge-page utilisation, allocation lifetime), at
+a configurable scaled-down footprint.  Table 2 characteristics (RSS,
+ratio of huge pages) are preserved proportionally.
+"""
+
+from repro.workloads.base import (
+    AccessEvent,
+    AllocEvent,
+    FreeEvent,
+    Workload,
+)
+from repro.workloads.mix import MixWorkload
+from repro.workloads.registry import WORKLOAD_REGISTRY, make_workload, workload_names
+from repro.workloads.trace import TraceWorkload, record_trace
+
+__all__ = [
+    "AccessEvent",
+    "AllocEvent",
+    "FreeEvent",
+    "Workload",
+    "MixWorkload",
+    "TraceWorkload",
+    "record_trace",
+    "WORKLOAD_REGISTRY",
+    "make_workload",
+    "workload_names",
+]

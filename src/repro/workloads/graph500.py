@@ -1,0 +1,97 @@
+"""Graph500 (BFS on a generated graph) -- Table 2: RSS 66.3 GB, RHP 99.9%.
+
+Shape (§6.2.1): "Both benchmarks access a large memory region frequently
+during the graph generation.  During the search phase, they frequently
+access a small memory region.  Also, their huge page utilization is
+high."
+
+We model two phases over three regions:
+
+* ``graph`` (~88% of RSS): written sequentially during generation, then
+  read with moderate Zipf skew during BFS (edge lists of popular
+  vertices); hot pages are *contiguous* (linear map), so utilisation of
+  hot huge pages stays high;
+* ``frontier`` (~4%): the BFS frontier/visited structures -- small and
+  very hot during search;
+* ``aux`` (~8%): key buffers and results, warm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.pebs.events import AccessBatch
+from repro.workloads.base import AccessEvent, AllocEvent, Workload
+from repro.workloads.distributions import (
+    ScatterMap,
+    ZipfSampler,
+    chunked,
+    mixture_pick,
+    sequential_offsets,
+)
+
+
+class Graph500Workload(Workload):
+    """Generation + BFS over a large graph."""
+
+    name = "graph500"
+    paper_rss_gb = 66.3
+    paper_rhp = 0.999
+    description = "Generation and search of large graphs"
+
+    GEN_FRACTION = 0.35  # share of accesses spent generating the graph
+
+    def __init__(self, total_bytes: int, total_accesses: int, **kwargs):
+        super().__init__(total_bytes, total_accesses, **kwargs)
+        self.graph_bytes = int(total_bytes * 0.88)
+        self.frontier_bytes = int(total_bytes * 0.04)
+        self.aux_bytes = total_bytes - self.graph_bytes - self.frontier_bytes
+
+    def events(self, rng: np.random.Generator) -> Iterator[object]:
+        yield AllocEvent("graph", self.graph_bytes)
+        yield AllocEvent("frontier", self.frontier_bytes)
+        yield AllocEvent("aux", self.aux_bytes)
+
+        graph_pages = self._pages(self.graph_bytes)
+        frontier_pages = self._pages(self.frontier_bytes)
+        aux_pages = self._pages(self.aux_bytes)
+
+        # Phase 1: generation -- streaming writes over the whole graph.
+        gen_accesses = int(self.total_accesses * self.GEN_FRACTION)
+        cursor = 0
+        for n in chunked(gen_accesses, self.batch_size):
+            offsets = sequential_offsets(cursor, n, graph_pages)
+            cursor = (cursor + n) % graph_pages
+            yield AccessEvent.single(
+                "graph", AccessBatch(offsets, self._mix_stores(n, 0.7, rng))
+            )
+
+        # Phase 2: BFS -- skewed reads of the graph + a hot frontier.
+        zipf = ZipfSampler(graph_pages, alpha=0.7)
+        smap = ScatterMap(graph_pages, mode="linear", shift=0.40)
+        search_accesses = self.total_accesses - gen_accesses
+        for n in chunked(search_accesses, self.batch_size):
+            component = mixture_pick(rng, n, [0.60, 0.30, 0.10])
+            n_graph = int(np.count_nonzero(component == 0))
+            n_frontier = int(np.count_nonzero(component == 1))
+            n_aux = n - n_graph - n_frontier
+            segments = []
+            if n_graph:
+                offsets = smap.apply(zipf.sample(rng, n_graph))
+                segments.append(
+                    ("graph", AccessBatch(offsets, self._mix_stores(n_graph, 0.05, rng)))
+                )
+            if n_frontier:
+                offsets = rng.integers(0, frontier_pages, n_frontier, dtype=np.int64)
+                segments.append(
+                    ("frontier",
+                     AccessBatch(offsets, self._mix_stores(n_frontier, 0.3, rng)))
+                )
+            if n_aux:
+                offsets = rng.integers(0, aux_pages, n_aux, dtype=np.int64)
+                segments.append(
+                    ("aux", AccessBatch(offsets, self._mix_stores(n_aux, 0.1, rng)))
+                )
+            yield AccessEvent(segments, interleave=True)

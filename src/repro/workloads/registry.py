@@ -1,0 +1,69 @@
+"""Workload registry and Table 2 characteristics."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.sim.machine import ScaleSpec
+from repro.workloads.base import Workload
+from repro.workloads.btree import BtreeWorkload
+from repro.workloads.graph500 import Graph500Workload
+from repro.workloads.liblinear import LiblinearWorkload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.silo import SiloWorkload
+from repro.workloads.spec import BwavesWorkload, RomsWorkload
+from repro.workloads.xsbench import XSBenchWorkload
+
+WORKLOAD_REGISTRY: Dict[str, Type[Workload]] = {
+    cls.name: cls
+    for cls in (
+        Graph500Workload,
+        PageRankWorkload,
+        XSBenchWorkload,
+        LiblinearWorkload,
+        SiloWorkload,
+        BtreeWorkload,
+        BwavesWorkload,
+        RomsWorkload,
+    )
+}
+
+#: Paper order used by every figure.
+PAPER_ORDER: List[str] = [
+    "graph500",
+    "pagerank",
+    "xsbench",
+    "liblinear",
+    "silo",
+    "btree",
+    "603.bwaves",
+    "654.roms",
+]
+
+
+def workload_names() -> List[str]:
+    return list(PAPER_ORDER)
+
+
+def make_workload(name: str, scale: ScaleSpec, **kwargs) -> Workload:
+    """Instantiate a registered workload at the given scale."""
+    try:
+        cls = WORKLOAD_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOAD_REGISTRY)}"
+        ) from None
+    return cls.from_scale(scale, **kwargs)
+
+
+def table2_characteristics() -> List[Dict[str, object]]:
+    """Paper Table 2 rows (paper-reported values)."""
+    return [
+        {
+            "benchmark": cls.name,
+            "rss_gb": cls.paper_rss_gb,
+            "rhp": cls.paper_rhp,
+            "description": cls.description,
+        }
+        for name, cls in ((n, WORKLOAD_REGISTRY[n]) for n in PAPER_ORDER)
+    ]

@@ -1,0 +1,74 @@
+"""Silo (in-memory OLTP, YCSB-C zipfian lookups) -- RSS 58.1 GB, RHP 97.4%.
+
+The paper's canonical split-friendly workload (Fig. 3b, §6.2.4): "Silo
+frequently accesses only 5-15% of subpages in a huge page ... With such
+a low huge page utilization and high skewness, it is hard to fully
+harness the fast tier due to underutilized cold subpages in a huge
+page."
+
+We reproduce that with a Zipf(0.99) popularity over records whose pages
+are *scattered* across the store (hash-ordered index), so every hot huge
+page contains only a handful of hot subpages.  A small log region is
+mapped with base pages (RHP 97.4%).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.pebs.events import AccessBatch
+from repro.workloads.base import AccessEvent, AllocEvent, Workload
+from repro.workloads.distributions import (
+    ScatterMap,
+    ZipfSampler,
+    chunked,
+    mixture_pick,
+    sequential_offsets,
+)
+
+
+class SiloWorkload(Workload):
+    """YCSB-C style zipfian lookups with scattered hot subpages."""
+
+    name = "silo"
+    paper_rss_gb = 58.1
+    paper_rhp = 0.974
+    description = "In-memory database engine (YCSB-C, Zipfian)"
+
+    ZIPF_ALPHA = 0.99
+
+    def __init__(self, total_bytes: int, total_accesses: int, **kwargs):
+        super().__init__(total_bytes, total_accesses, **kwargs)
+        self.store_bytes = int(total_bytes * 0.974)
+        self.log_bytes = total_bytes - self.store_bytes
+
+    def events(self, rng: np.random.Generator) -> Iterator[object]:
+        yield AllocEvent("store", self.store_bytes, thp=True)
+        yield AllocEvent("log", self.log_bytes, thp=False)
+
+        store_pages = self._pages(self.store_bytes)
+        log_pages = self._pages(self.log_bytes)
+        zipf = ZipfSampler(store_pages, alpha=self.ZIPF_ALPHA)
+        # Hash-ordered records: hot pages scattered across every huge page.
+        smap = ScatterMap(store_pages, mode="scatter")
+
+        log_cursor = 0
+        for n in chunked(self.total_accesses, self.batch_size):
+            component = mixture_pick(rng, n, [0.96, 0.04])
+            n_store = int(np.count_nonzero(component == 0))
+            n_log = n - n_store
+            segments = []
+            if n_store:
+                offsets = smap.apply(zipf.sample(rng, n_store))
+                segments.append(
+                    ("store", AccessBatch(offsets, self._mix_stores(n_store, 0.02, rng)))
+                )
+            if n_log:
+                offsets = sequential_offsets(log_cursor, n_log, log_pages)
+                log_cursor = (log_cursor + n_log) % log_pages
+                segments.append(
+                    ("log", AccessBatch(offsets, np.ones(n_log, dtype=bool)))
+                )
+            yield AccessEvent(segments, interleave=True)

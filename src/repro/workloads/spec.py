@@ -1,0 +1,155 @@
+"""SPEC CPU 2017 memory-heavy pair: 603.bwaves and 654.roms.
+
+603.bwaves (RSS 11.1 GB, RHP 99.5%), §6.2.6: "allocates short-lived and
+long-lived data"; systems that keep headroom in the fast tier and place
+fresh allocations there (Tiering-0.8, TPP, MEMTIS) win, while systems
+that reserve free fast pages only for promotions (AutoTiering) push the
+short-lived data to the capacity tier.  We model long-lived field arrays
+swept sequentially plus a churn of heavily-accessed scratch regions that
+are freed after a short burst.
+
+654.roms (RSS 10.3 GB, RHP 96.6%): regional ocean modelling -- several
+state arrays swept at different cadences plus a hot working band that
+relocates a few times over the run.  The banded, multi-intensity address
+profile is what DAMON's Fig. 1 heat maps show being blurred by coarse
+regions, and the high sample volume is what forces `ksampled` to raise
+its PEBS period from 200 to ~1400 (§6.3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.pebs.events import AccessBatch
+from repro.workloads.base import AccessEvent, AllocEvent, FreeEvent, Workload
+from repro.workloads.distributions import (
+    ScatterMap,
+    ZipfSampler,
+    chunked,
+    mixture_pick,
+    sequential_offsets,
+)
+
+
+class BwavesWorkload(Workload):
+    """Long-lived sweeps plus short-lived scratch allocation churn."""
+
+    name = "603.bwaves"
+    paper_rss_gb = 11.1
+    paper_rhp = 0.995
+    description = "Explosion modeling (SPEC CPU 2017)"
+
+    GENERATIONS = 8
+    SCRATCH_FRACTION = 0.06   # scratch size relative to total
+    SCRATCH_ACCESS_SHARE = 0.35
+
+    def __init__(self, total_bytes: int, total_accesses: int, **kwargs):
+        super().__init__(total_bytes, total_accesses, **kwargs)
+        self.scratch_bytes = max(4096, int(total_bytes * self.SCRATCH_FRACTION))
+        self.fields_bytes = total_bytes - self.scratch_bytes
+
+    def events(self, rng: np.random.Generator) -> Iterator[object]:
+        yield AllocEvent("fields", self.fields_bytes)
+        field_pages = self._pages(self.fields_bytes)
+        zipf = ZipfSampler(field_pages, alpha=0.6)
+        smap = ScatterMap(field_pages, mode="linear", shift=0.5)
+
+        per_gen = self.total_accesses // self.GENERATIONS
+        cursor = 0
+        for gen in range(self.GENERATIONS):
+            scratch_key = f"scratch{gen}"
+            yield AllocEvent(scratch_key, self.scratch_bytes)
+            scratch_pages = self._pages(self.scratch_bytes)
+            for n in chunked(per_gen, self.batch_size):
+                component = mixture_pick(
+                    rng, n,
+                    [1 - self.SCRATCH_ACCESS_SHARE - 0.25, 0.25,
+                     self.SCRATCH_ACCESS_SHARE],
+                )
+                n_sweep = int(np.count_nonzero(component == 0))
+                n_hot = int(np.count_nonzero(component == 1))
+                n_scratch = n - n_sweep - n_hot
+                segments = []
+                if n_sweep:
+                    offsets = sequential_offsets(cursor, n_sweep, field_pages)
+                    cursor = (cursor + n_sweep) % field_pages
+                    segments.append(
+                        ("fields",
+                         AccessBatch(offsets, self._mix_stores(n_sweep, 0.4, rng)))
+                    )
+                if n_hot:
+                    offsets = smap.apply(zipf.sample(rng, n_hot))
+                    segments.append(("fields", AccessBatch.loads(offsets)))
+                if n_scratch:
+                    offsets = rng.integers(0, scratch_pages, n_scratch, dtype=np.int64)
+                    segments.append(
+                        ("scratch" + str(gen),
+                         AccessBatch(offsets, self._mix_stores(n_scratch, 0.5, rng)))
+                    )
+                yield AccessEvent(segments, interleave=True)
+            yield FreeEvent(scratch_key)
+
+
+class RomsWorkload(Workload):
+    """Multi-cadence array sweeps with a drifting hot window."""
+
+    name = "654.roms"
+    paper_rss_gb = 10.3
+    paper_rhp = 0.966
+    description = "Regional ocean modeling (SPEC CPU 2017)"
+
+    #: (share of RSS, share of accesses) for each state array.
+    ARRAYS = [(0.30, 0.12), (0.25, 0.10), (0.22, 0.08), (0.20, 0.10)]
+    WINDOW_SHARE = 0.60  # accesses hitting the drifting hot window
+    WINDOW_FRACTION = 0.08  # window size relative to the main array
+    STEPS = 4
+
+    def __init__(self, total_bytes: int, total_accesses: int, **kwargs):
+        super().__init__(total_bytes, total_accesses, **kwargs)
+        main_share = sum(share for share, _a in self.ARRAYS)
+        self.array_bytes = [int(total_bytes * share) for share, _a in self.ARRAYS]
+        tail = total_bytes - sum(self.array_bytes)
+        self.misc_bytes = max(4096, tail)
+
+    def events(self, rng: np.random.Generator) -> Iterator[object]:
+        for i, nbytes in enumerate(self.array_bytes):
+            yield AllocEvent(f"array{i}", nbytes)
+        yield AllocEvent("misc", self.misc_bytes, thp=False)
+
+        array_pages = [self._pages(b) for b in self.array_bytes]
+        window_pages = max(1, int(array_pages[0] * self.WINDOW_FRACTION))
+        per_step = self.total_accesses // self.STEPS
+        cursors = [0] * len(self.ARRAYS)
+        access_shares = [a for _s, a in self.ARRAYS]
+
+        for step in range(self.STEPS):
+            window_start = int(
+                (step / self.STEPS) * (array_pages[0] - window_pages)
+            )
+            for n in chunked(per_step, self.batch_size):
+                component = mixture_pick(
+                    rng, n, [self.WINDOW_SHARE] + access_shares
+                )
+                segments = []
+                n_window = int(np.count_nonzero(component == 0))
+                if n_window:
+                    offsets = window_start + rng.integers(
+                        0, window_pages, n_window, dtype=np.int64
+                    )
+                    segments.append(
+                        ("array0",
+                         AccessBatch(offsets, self._mix_stores(n_window, 0.3, rng)))
+                    )
+                for i in range(len(self.ARRAYS)):
+                    n_i = int(np.count_nonzero(component == i + 1))
+                    if not n_i:
+                        continue
+                    offsets = sequential_offsets(cursors[i], n_i, array_pages[i])
+                    cursors[i] = (cursors[i] + n_i) % array_pages[i]
+                    segments.append(
+                        (f"array{i}",
+                         AccessBatch(offsets, self._mix_stores(n_i, 0.2, rng)))
+                    )
+                yield AccessEvent(segments, interleave=True)

@@ -1,0 +1,140 @@
+"""Trace recording and replay.
+
+Any workload's event stream can be serialised to a compact ``.npz``
+trace and replayed later — useful for (a) bit-identical comparisons
+across policies without regenerating the synthetic stream, (b) sharing
+workloads, and (c) plugging *real* traces (e.g. converted PEBS dumps)
+into the simulator: build the same npz layout and
+:class:`TraceWorkload` will drive it.
+
+Format (single ``.npz``):
+
+* ``event_kind``  int8[E]   -- 0 alloc, 1 free, 2 access
+* ``event_arg``   int64[E]  -- alloc: nbytes; free: 0; access: segment count
+* ``event_key``   str[E]    -- region key for alloc/free, "" for access
+* ``event_thp``   bool[E]   -- alloc THP flag
+* ``seg_key``     str[S]    -- region key per access segment
+* ``seg_len``     int64[S]  -- accesses per segment
+* ``seg_interleave`` bool[S]
+* ``vpn``         int64[N]  -- concatenated region-relative offsets
+* ``is_store``    bool[N]
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.pebs.events import AccessBatch
+from repro.workloads.base import AccessEvent, AllocEvent, FreeEvent, Workload
+
+KIND_ALLOC, KIND_FREE, KIND_ACCESS = 0, 1, 2
+
+
+def record_trace(workload: Workload, path: str, seed: int = 42,
+                 max_accesses: Optional[int] = None) -> dict:
+    """Run ``workload``'s generator and save its event stream.
+
+    Returns a small stats dict (events, accesses).
+    """
+    kinds, args, keys, thps = [], [], [], []
+    seg_keys, seg_lens, seg_inter = [], [], []
+    vpn_parts, store_parts = [], []
+    accesses = 0
+
+    for event in workload.events(np.random.default_rng(seed)):
+        if isinstance(event, AllocEvent):
+            kinds.append(KIND_ALLOC)
+            args.append(event.nbytes)
+            keys.append(event.key)
+            thps.append(event.thp)
+        elif isinstance(event, FreeEvent):
+            kinds.append(KIND_FREE)
+            args.append(0)
+            keys.append(event.key)
+            thps.append(False)
+        elif isinstance(event, AccessEvent):
+            kinds.append(KIND_ACCESS)
+            args.append(len(event.segments))
+            keys.append("")
+            thps.append(False)
+            for key, batch in event.segments:
+                seg_keys.append(key)
+                seg_lens.append(len(batch))
+                seg_inter.append(event.interleave)
+                vpn_parts.append(batch.vpn)
+                store_parts.append(batch.is_store)
+                accesses += len(batch)
+        if max_accesses is not None and accesses >= max_accesses:
+            break
+
+    np.savez_compressed(
+        path,
+        event_kind=np.array(kinds, dtype=np.int8),
+        event_arg=np.array(args, dtype=np.int64),
+        event_key=np.array(keys, dtype=object),
+        event_thp=np.array(thps, dtype=bool),
+        seg_key=np.array(seg_keys, dtype=object),
+        seg_len=np.array(seg_lens, dtype=np.int64),
+        seg_interleave=np.array(seg_inter, dtype=bool),
+        vpn=(np.concatenate(vpn_parts) if vpn_parts
+             else np.empty(0, dtype=np.int64)),
+        is_store=(np.concatenate(store_parts) if store_parts
+                  else np.empty(0, dtype=bool)),
+        total_bytes=np.int64(workload.total_bytes),
+        total_accesses=np.int64(accesses),
+    )
+    return {"events": len(kinds), "accesses": accesses}
+
+
+class TraceWorkload(Workload):
+    """Replays a trace recorded with :func:`record_trace`."""
+
+    name = "trace"
+    paper_rss_gb = 0.0
+
+    def __init__(self, path: str):
+        data = np.load(path, allow_pickle=True)
+        super().__init__(
+            total_bytes=int(data["total_bytes"]),
+            total_accesses=max(1, int(data["total_accesses"])),
+        )
+        self.path = path
+        self._data = data
+
+    def events(self, rng: np.random.Generator) -> Iterator[object]:
+        data = self._data
+        seg_cursor = 0
+        vpn_cursor = 0
+        seg_key = data["seg_key"]
+        seg_len = data["seg_len"]
+        seg_inter = data["seg_interleave"]
+        vpn = data["vpn"]
+        is_store = data["is_store"]
+        for kind, arg, key, thp in zip(
+            data["event_kind"], data["event_arg"],
+            data["event_key"], data["event_thp"],
+        ):
+            if kind == KIND_ALLOC:
+                yield AllocEvent(str(key), int(arg), thp=bool(thp))
+            elif kind == KIND_FREE:
+                yield FreeEvent(str(key))
+            else:
+                segments = []
+                interleave = False
+                for _ in range(int(arg)):
+                    n = int(seg_len[seg_cursor])
+                    segments.append(
+                        (
+                            str(seg_key[seg_cursor]),
+                            AccessBatch(
+                                vpn[vpn_cursor : vpn_cursor + n],
+                                is_store[vpn_cursor : vpn_cursor + n],
+                            ),
+                        )
+                    )
+                    interleave = bool(seg_inter[seg_cursor])
+                    seg_cursor += 1
+                    vpn_cursor += n
+                yield AccessEvent(segments, interleave=interleave)

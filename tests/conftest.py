@@ -1,0 +1,72 @@
+"""Shared fixtures: small machines, contexts, and policy harnesses."""
+
+import numpy as np
+import pytest
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.migration import MigrationEngine
+from repro.mem.tiers import TieredMemory, TierKind, dram_spec, nvm_spec
+from repro.mem.tlb import TLB, TLBConfig
+from repro.pebs.sampler import PEBSSampler, SamplerConfig
+from repro.policies.base import PolicyContext
+from repro.sim.machine import MachineSpec, ScaleSpec
+
+MB = 1024 * 1024
+
+#: Tiny scale for end-to-end tests (seconds, not minutes).
+TEST_SCALE = ScaleSpec(
+    bytes_per_paper_gb=1 * MB,
+    accesses_per_paper_gb=20_000,
+    min_bytes=48 * MB,
+    min_accesses_per_page=40,
+)
+
+#: Denser scale for behavioural assertions that need converged statistics
+#: (hot-set sizing, split benefits) while staying test-suite friendly.
+MEDIUM_SCALE = ScaleSpec(
+    bytes_per_paper_gb=2 * MB,
+    accesses_per_paper_gb=100_000,
+    min_bytes=64 * MB,
+    min_accesses_per_page=100,
+)
+
+
+def make_context(fast_mb=16, cap_mb=96, with_sampler=False,
+                 load_period=50, cores=20, app_threads=20, seed=7):
+    """A PolicyContext over a fresh small machine."""
+    tiers = TieredMemory.build(dram_spec(fast_mb * MB), nvm_spec(cap_mb * MB))
+    space = AddressSpace(tiers)
+    tlb = TLB(TLBConfig(entries_4k=64, entries_2m=16, ways=4, sample_stride=4))
+    migrator = MigrationEngine(space, tlb=tlb)
+    sampler = None
+    if with_sampler:
+        sampler = PEBSSampler(SamplerConfig(load_period=load_period,
+                                            store_period=10_000))
+    machine = MachineSpec(
+        fast_bytes=fast_mb * MB, capacity_bytes=cap_mb * MB,
+        cores=cores, app_threads=app_threads,
+    )
+    return PolicyContext(
+        space=space,
+        tiers=tiers,
+        migrator=migrator,
+        tlb=tlb,
+        machine=machine,
+        rng=np.random.default_rng(seed),
+        sampler=sampler,
+    )
+
+
+@pytest.fixture
+def ctx():
+    return make_context()
+
+
+@pytest.fixture
+def ctx_with_sampler():
+    return make_context(with_sampler=True)
+
+
+@pytest.fixture
+def test_scale():
+    return TEST_SCALE

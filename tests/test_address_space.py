@@ -1,0 +1,190 @@
+"""Address space: regions, THP, RSS/bloat, recycling, consistency."""
+
+import numpy as np
+import pytest
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.pages import BASE_PAGE_SIZE, HUGE_PAGE_SIZE, SUBPAGES_PER_HUGE
+from repro.mem.tiers import (
+    OutOfMemoryError,
+    TieredMemory,
+    TierKind,
+    dram_spec,
+    nvm_spec,
+)
+
+MB = 1024 * 1024
+
+
+def make_space(fast_mb=16, cap_mb=64):
+    tiers = TieredMemory.build(dram_spec(fast_mb * MB), nvm_spec(cap_mb * MB))
+    return AddressSpace(tiers)
+
+
+class TestAllocation:
+    def test_thp_region_maps_huge(self):
+        space = make_space()
+        region = space.alloc_region(4 * MB, thp=True)
+        assert region.num_vpns == 4 * MB // BASE_PAGE_SIZE
+        assert space.page_huge[region.base_vpn]
+        assert space.page_table.mapped_huge_pages == 2
+        space.check_consistency()
+
+    def test_base_region_maps_base(self):
+        space = make_space()
+        region = space.alloc_region(2 * MB, thp=False)
+        assert not space.page_huge[region.base_vpn]
+        assert space.page_table.mapped_huge_pages == 0
+        space.check_consistency()
+
+    def test_size_rounds_to_huge_multiple(self):
+        space = make_space()
+        region = space.alloc_region(3 * MB + 1)
+        assert region.nbytes == 4 * MB
+
+    def test_rejects_nonpositive(self):
+        space = make_space()
+        with pytest.raises(ValueError):
+            space.alloc_region(0)
+
+    def test_fast_first_with_fallback(self):
+        space = make_space(fast_mb=4, cap_mb=64)
+        region = space.alloc_region(8 * MB, tier_chooser=lambda n: TierKind.FAST)
+        tiers_used = set(space.page_tier[region.base_vpn : region.end_vpn].tolist())
+        assert tiers_used == {int(TierKind.FAST), int(TierKind.CAPACITY)}
+        assert space.tiers.fast.free_bytes == 0
+        space.check_consistency()
+
+    def test_oom_when_both_tiers_full(self):
+        space = make_space(fast_mb=2, cap_mb=2)
+        space.alloc_region(4 * MB)
+        with pytest.raises(OutOfMemoryError):
+            space.alloc_region(2 * MB)
+
+    def test_rss_accounts_mapped_not_touched(self):
+        """Huge-page bloat: RSS counts whole mappings (§6.2.5 Btree)."""
+        space = make_space()
+        region = space.alloc_region(8 * MB, thp=True)
+        assert space.rss_bytes == 8 * MB
+        space.record_touch(np.array([region.base_vpn]))
+        assert space.touched_bytes == BASE_PAGE_SIZE
+        assert space.rss_bytes == 8 * MB
+
+    def test_huge_page_ratio(self):
+        space = make_space()
+        space.alloc_region(6 * MB, thp=True)
+        space.alloc_region(2 * MB, thp=False)
+        assert space.huge_page_ratio() == pytest.approx(0.75)
+
+
+class TestFreeAndRecycle:
+    def test_free_returns_capacity(self):
+        space = make_space()
+        region = space.alloc_region(4 * MB)
+        used = space.tiers.total_used()
+        space.free_region(region)
+        assert space.tiers.total_used() == used - 4 * MB
+        assert not region.live
+        space.check_consistency()
+
+    def test_double_free_rejected(self):
+        space = make_space()
+        region = space.alloc_region(2 * MB)
+        space.free_region(region)
+        with pytest.raises(ValueError):
+            space.free_region(region)
+
+    def test_virtual_range_recycled(self):
+        space = make_space()
+        region = space.alloc_region(4 * MB)
+        base = region.base_vpn
+        space.free_region(region)
+        again = space.alloc_region(4 * MB)
+        assert again.base_vpn == base
+
+    def test_unmap_listener_called(self):
+        space = make_space()
+        calls = []
+        space.add_unmap_listener(lambda vpn, n: calls.append((vpn, n)))
+        region = space.alloc_region(2 * MB)
+        space.free_region(region)
+        assert calls == [(region.base_vpn, region.num_vpns)]
+
+    def test_free_region_with_split_holes(self):
+        """Splits can unmap subpages; free must handle the holes."""
+        space = make_space()
+        region = space.alloc_region(2 * MB)
+        hpn = region.base_vpn >> 9
+        tiers = [None if i % 2 else TierKind.CAPACITY
+                 for i in range(SUBPAGES_PER_HUGE)]
+        space.split_huge(hpn, tiers)
+        space.free_region(region)
+        assert space.tiers.total_used() == 0
+        space.check_consistency()
+
+
+class TestMutations:
+    def test_retarget_moves_bytes(self):
+        space = make_space()
+        region = space.alloc_region(2 * MB, tier_chooser=lambda n: TierKind.FAST)
+        moved = space.retarget(region.base_vpn, is_huge=True, dst=TierKind.CAPACITY)
+        assert moved == HUGE_PAGE_SIZE
+        assert space.tiers.fast.used_bytes == 0
+        assert space.page_tier[region.base_vpn] == int(TierKind.CAPACITY)
+        space.check_consistency()
+
+    def test_retarget_same_tier_is_noop(self):
+        space = make_space()
+        region = space.alloc_region(2 * MB, tier_chooser=lambda n: TierKind.FAST)
+        assert space.retarget(region.base_vpn, True, TierKind.FAST) == 0
+
+    def test_split_frees_and_migrates(self):
+        space = make_space()
+        region = space.alloc_region(2 * MB, tier_chooser=lambda n: TierKind.FAST)
+        hpn = region.base_vpn >> 9
+        tiers = [TierKind.FAST] * 10 + [None] * 10 + \
+                [TierKind.CAPACITY] * (SUBPAGES_PER_HUGE - 20)
+        result = space.split_huge(hpn, tiers)
+        assert result["bytes_freed"] == 10 * BASE_PAGE_SIZE
+        assert result["bytes_migrated"] == (SUBPAGES_PER_HUGE - 20) * BASE_PAGE_SIZE
+        assert space.rss_bytes == HUGE_PAGE_SIZE - 10 * BASE_PAGE_SIZE
+        space.check_consistency()
+
+    def test_collapse_roundtrip(self):
+        space = make_space()
+        region = space.alloc_region(2 * MB, tier_chooser=lambda n: TierKind.FAST)
+        hpn = region.base_vpn >> 9
+        space.split_huge(hpn, [TierKind.CAPACITY] * SUBPAGES_PER_HUGE)
+        moved = space.collapse_huge(hpn, TierKind.FAST)
+        assert moved == HUGE_PAGE_SIZE
+        assert space.page_huge[region.base_vpn]
+        space.check_consistency()
+
+    def test_collapse_with_freed_subpage_rejected(self):
+        space = make_space()
+        region = space.alloc_region(2 * MB)
+        hpn = region.base_vpn >> 9
+        tiers = [None] + [TierKind.CAPACITY] * (SUBPAGES_PER_HUGE - 1)
+        space.split_huge(hpn, tiers)
+        with pytest.raises(ValueError):
+            space.collapse_huge(hpn, TierKind.FAST)
+
+    def test_demand_map(self):
+        space = make_space()
+        region = space.alloc_region(2 * MB)
+        hpn = region.base_vpn >> 9
+        tiers = [None] * 5 + [TierKind.CAPACITY] * (SUBPAGES_PER_HUGE - 5)
+        space.split_huge(hpn, tiers)
+        tier = space.demand_map(region.base_vpn, TierKind.FAST)
+        assert tier is TierKind.FAST
+        with pytest.raises(ValueError):
+            space.demand_map(region.base_vpn, TierKind.FAST)
+        space.check_consistency()
+
+    def test_record_touch_sets_ref_bits(self):
+        space = make_space()
+        region = space.alloc_region(2 * MB)
+        vpns = np.array([region.base_vpn, region.base_vpn + 3])
+        space.record_touch(vpns)
+        assert space.ref_bit[vpns].all()
+        assert space.touched[vpns].all()

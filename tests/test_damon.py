@@ -1,0 +1,89 @@
+"""DAMON region monitor (Fig. 1 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.policies.damon import FIG1_CONFIGS, DamonConfig, DamonMonitor
+from repro.policies.static import AllCapacityPolicy
+from repro.sim.engine import Simulation
+from repro.sim.machine import MachineSpec
+from repro.workloads.registry import make_workload
+
+from conftest import TEST_SCALE, make_context
+
+MB = 1024 * 1024
+
+
+def run_monitor(config, workload_name="654.roms", max_accesses=200_000):
+    # Small batches so the monitor gets ticked often enough relative to
+    # its sampling interval (ticks are quantised to batch boundaries).
+    workload = make_workload(workload_name, TEST_SCALE, batch_size=4096)
+    machine = MachineSpec.from_ratio(workload.total_bytes, ratio="1:2")
+    monitor = DamonMonitor(config)
+    sim = Simulation(workload, monitor, machine)
+    sim.run(max_accesses=max_accesses)
+    return monitor
+
+
+class TestConfigs:
+    def test_fig1_configs_present(self):
+        assert set(FIG1_CONFIGS) == {"5ms-10-1000", "500ms-10K-20K", "5ms-10K-20K"}
+
+    def test_label(self):
+        assert DamonConfig(5e6, 10, 1000).label() == "5ms-10-1000"
+
+
+class TestMonitoring:
+    def test_regions_stay_within_bounds(self):
+        config = DamonConfig(1e6, min_regions=8, max_regions=32,
+                             aggregation_samples=5)
+        monitor = run_monitor(config)
+        assert 8 <= len(monitor.regions) <= 32
+
+    def test_regions_cover_contiguous_space(self):
+        config = DamonConfig(1e6, min_regions=8, max_regions=64,
+                             aggregation_samples=5)
+        monitor = run_monitor(config)
+        for a, b in zip(monitor.regions, monitor.regions[1:]):
+            assert a.end_vpn == b.start_vpn
+
+    def test_snapshots_recorded(self):
+        config = DamonConfig(1e6, min_regions=8, max_regions=32,
+                             aggregation_samples=5)
+        monitor = run_monitor(config)
+        assert len(monitor.snapshots) > 2
+
+    def test_heatmap_shape(self):
+        config = DamonConfig(1e6, min_regions=8, max_regions=32,
+                             aggregation_samples=5)
+        monitor = run_monitor(config)
+        grid = monitor.heatmap(num_addr_bins=32)
+        assert grid.shape == (len(monitor.snapshots), 32)
+        assert grid.max() > 0
+
+    def test_overhead_scales_with_region_count(self):
+        """The Fig. 1 trade-off: more regions, more CPU."""
+        cheap = run_monitor(DamonConfig(2e6, 8, 16, aggregation_samples=5))
+        costly = run_monitor(DamonConfig(2e6, 512, 1024, aggregation_samples=5))
+        assert costly.cpu_overhead() > 5 * cheap.cpu_overhead()
+
+    def test_longer_interval_cheaper(self):
+        fast = run_monitor(DamonConfig(1e6, 64, 128, aggregation_samples=5))
+        slow = run_monitor(DamonConfig(16e6, 64, 128, aggregation_samples=5))
+        assert slow.cpu_overhead() < fast.cpu_overhead()
+
+    def test_never_migrates(self):
+        config = DamonConfig(1e6, 8, 32, aggregation_samples=5)
+        workload = make_workload("654.roms", TEST_SCALE, batch_size=4096)
+        machine = MachineSpec.from_ratio(workload.total_bytes, ratio="1:2")
+        monitor = DamonMonitor(config)
+        sim = Simulation(workload, monitor, machine)
+        sim.run(max_accesses=100_000)
+        assert sim.migrator.stats.traffic_bytes == 0
+
+    def test_stats(self):
+        config = DamonConfig(1e6, 8, 32, aggregation_samples=5)
+        monitor = run_monitor(config)
+        stats = monitor.stats()
+        assert stats["regions"] >= 8
+        assert stats["cpu_overhead"] > 0

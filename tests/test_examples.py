@@ -1,0 +1,48 @@
+"""Examples: importability and one end-to-end smoke run."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = [
+    "quickstart.py",
+    "split_study.py",
+    "cxl_vs_nvm.py",
+    "custom_policy.py",
+    "hotset_timeline.py",
+]
+
+
+class TestExamplesExist:
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_present_and_compiles(self, name):
+        path = os.path.join(EXAMPLES_DIR, name)
+        assert os.path.exists(path)
+        source = open(path).read()
+        compile(source, path, "exec")
+        assert '"""' in source  # documented
+        assert "--quick" in source  # supports the fast demo mode
+
+
+@pytest.mark.slow
+class TestExampleRuns:
+    def test_hotset_timeline_quick(self):
+        proc = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, "hotset_timeline.py"),
+             "--quick", "--workload", "654.roms"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "hit ratio" in proc.stdout
+
+    def test_custom_policy_quick(self):
+        proc = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, "custom_policy.py"),
+             "--quick", "--workload", "654.roms"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "memtis" in proc.stdout

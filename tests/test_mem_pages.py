@@ -1,0 +1,73 @@
+"""Page constants and metadata tables."""
+
+import numpy as np
+import pytest
+
+from repro.mem.pages import (
+    BASE_PAGE_SIZE,
+    HUGE_PAGE_SIZE,
+    SUBPAGES_PER_HUGE,
+    PageMetadataTable,
+    hpn_to_vpn,
+    vpn_to_hpn,
+)
+
+
+class TestConstants:
+    def test_sizes(self):
+        assert BASE_PAGE_SIZE == 4096
+        assert HUGE_PAGE_SIZE == 2 * 1024 * 1024
+        assert SUBPAGES_PER_HUGE == 512
+
+    def test_vpn_hpn_roundtrip(self):
+        assert vpn_to_hpn(0) == 0
+        assert vpn_to_hpn(511) == 0
+        assert vpn_to_hpn(512) == 1
+        assert hpn_to_vpn(3) == 1536
+
+    def test_array_friendly(self):
+        vpns = np.array([0, 511, 512, 1024])
+        assert list(vpn_to_hpn(vpns)) == [0, 0, 1, 2]
+
+
+class TestPageMetadataTable:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PageMetadataTable(0)
+
+    def test_record_updates_both_counters(self):
+        table = PageMetadataTable(1024)
+        table.record_accesses(np.array([0, 0, 5, 600]))
+        assert table.sub_count[0] == 2
+        assert table.sub_count[5] == 1
+        assert table.huge_count[0] == 3  # vpns 0,0,5 share hpn 0
+        assert table.huge_count[1] == 1  # vpn 600
+
+    def test_cool_halves_everything(self):
+        table = PageMetadataTable(1024)
+        table.sub_count[3] = 9
+        table.huge_count[0] = 5
+        table.cool()
+        assert table.sub_count[3] == 4
+        assert table.huge_count[0] == 2
+
+    def test_reset_range_clears_covering_huge_slots(self):
+        table = PageMetadataTable(2048)
+        table.sub_count[512:1024] = 7
+        table.huge_count[1] = 99
+        table.reset_range(512, 512)
+        assert table.sub_count[512:1024].sum() == 0
+        assert table.huge_count[1] == 0
+
+    def test_huge_utilization_counts_hot_subpages(self):
+        table = PageMetadataTable(1024)
+        table.sub_count[0:10] = 4
+        table.sub_count[10:20] = 1
+        assert table.huge_utilization(0, hot_threshold=1) == 20
+        assert table.huge_utilization(0, hot_threshold=2) == 10
+        assert table.huge_utilization(0, hot_threshold=5) == 0
+        assert table.huge_utilization(1) == 0
+
+    def test_num_hpns_rounding(self):
+        table = PageMetadataTable(513)
+        assert table.num_hpns == 2

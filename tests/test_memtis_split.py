@@ -1,0 +1,107 @@
+"""Split math: benefit, Eq. 2 split count, Eq. 3 skewness."""
+
+import numpy as np
+import pytest
+
+from repro.core.split import (
+    choose_split_candidates,
+    num_splits,
+    skewness_factors,
+    split_benefit,
+    utilization_factors,
+)
+from repro.mem.pages import SUBPAGES_PER_HUGE
+
+
+def sub_counts(*rows):
+    return np.array(rows, dtype=np.int64)
+
+
+def page(hot_subpages, count_each):
+    row = np.zeros(SUBPAGES_PER_HUGE, dtype=np.int64)
+    row[:hot_subpages] = count_each
+    return row
+
+
+class TestBenefit:
+    def test_positive_gap(self):
+        assert split_benefit(0.9, 0.6) == pytest.approx(0.3)
+
+    def test_clamped_at_zero(self):
+        assert split_benefit(0.4, 0.6) == 0.0
+
+
+class TestNumSplits:
+    def test_zero_benefit_no_splits(self):
+        assert num_splits(0.0, 80, 300, 10_000, 10.0) == 0
+
+    def test_eq2_value(self):
+        # N_s = min(benefit * AL/L_fast * nr*beta/avg, nr/avg)
+        n = num_splits(0.10, 80.0, 300.0, nr_samples=10_000,
+                       avg_samples_hp=100.0, beta=0.4)
+        expected = 0.10 * (220.0 / 80.0) * (10_000 * 0.4 / 100.0)
+        assert n == int(min(expected, 100.0))
+
+    def test_capped_by_distinct_huge_pages(self):
+        n = num_splits(1.0, 80.0, 30_000.0, nr_samples=1_000,
+                       avg_samples_hp=10.0, beta=0.4)
+        assert n == 100  # nr/avg
+
+    def test_larger_latency_gap_splits_more(self):
+        kwargs = dict(nr_samples=100_000, avg_samples_hp=1000.0, beta=0.4)
+        nvm = num_splits(0.10, 80.0, 300.0, **kwargs)
+        cxl = num_splits(0.10, 80.0, 177.0, **kwargs)
+        assert nvm > cxl
+
+
+class TestSkewness:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            skewness_factors(np.zeros((2, 100)), 512)
+
+    def test_skewed_beats_uniform(self):
+        """Eq. 3's purpose: concentrated accesses score above uniform."""
+        total = 512 * 4
+        uniform = page(512, total // 512)
+        skewed = page(8, total // 8)
+        counts = sub_counts(uniform, skewed)
+        skew = skewness_factors(counts, hot_subpage_threshold_hotness=512)
+        assert skew[1] > skew[0] * 100
+
+    def test_zero_utilization_scores_zero(self):
+        counts = sub_counts(np.zeros(SUBPAGES_PER_HUGE, dtype=np.int64))
+        assert skewness_factors(counts, 512)[0] == 0.0
+
+    def test_utilization_threshold(self):
+        counts = sub_counts(page(20, 3))  # hotness 3*512 = 1536
+        assert utilization_factors(counts, 512)[0] == 20
+        assert utilization_factors(counts, 2000)[0] == 0
+
+
+class TestCandidateSelection:
+    def test_picks_most_skewed_first(self):
+        hpns = np.array([10, 11, 12])
+        counts = sub_counts(page(256, 2), page(4, 128), page(32, 16))
+        picked = choose_split_candidates(hpns, counts, 512, n_splits=2)
+        assert picked == [11, 12]
+
+    def test_fully_hot_pages_ineligible(self):
+        """util == 512 means splitting cannot reclaim anything."""
+        hpns = np.array([1, 2])
+        counts = sub_counts(page(512, 100), page(10, 100))
+        picked = choose_split_candidates(hpns, counts, 512, n_splits=2)
+        assert picked == [2]
+
+    def test_untouched_pages_ineligible(self):
+        hpns = np.array([1])
+        counts = sub_counts(np.zeros(SUBPAGES_PER_HUGE, dtype=np.int64))
+        assert choose_split_candidates(hpns, counts, 512, 5) == []
+
+    def test_respects_n_splits(self):
+        hpns = np.arange(10)
+        counts = np.stack([page(4, 50) for _ in range(10)])
+        assert len(choose_split_candidates(hpns, counts, 512, 3)) == 3
+
+    def test_zero_n_splits(self):
+        assert choose_split_candidates(np.array([1]), sub_counts(page(4, 9)),
+                                       512, 0) == []

@@ -1,0 +1,101 @@
+"""MixWorkload: co-location combinator."""
+
+import numpy as np
+import pytest
+
+from repro.policies.static import AllFastPolicy
+from repro.sim.engine import Simulation
+from repro.sim.machine import MachineSpec
+from repro.workloads.base import AccessEvent, AllocEvent, FreeEvent
+from repro.workloads.mix import MixWorkload
+from repro.workloads.registry import make_workload
+
+from conftest import TEST_SCALE
+
+MB = 1024 * 1024
+
+
+def members():
+    return [make_workload("silo", TEST_SCALE),
+            make_workload("654.roms", TEST_SCALE)]
+
+
+class TestConstruction:
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            MixWorkload([])
+
+    def test_weights_validated(self):
+        with pytest.raises(ValueError):
+            MixWorkload(members(), weights=[1])
+        with pytest.raises(ValueError):
+            MixWorkload(members(), weights=[1, 0])
+
+    def test_totals_are_sums(self):
+        mix = MixWorkload(members())
+        assert mix.total_bytes == sum(m.total_bytes for m in members())
+        assert mix.name == "mix(silo+654.roms)"
+
+
+class TestInterleaving:
+    def test_keys_namespaced_and_no_collisions(self):
+        mix = MixWorkload([make_workload("silo", TEST_SCALE),
+                           make_workload("silo", TEST_SCALE)])
+        keys = set()
+        events = 0
+        for event in mix.events(np.random.default_rng(0)):
+            if isinstance(event, AllocEvent):
+                assert event.key not in keys
+                keys.add(event.key)
+            events += 1
+            if events > 50:
+                break
+        assert any(k.startswith("0:") for k in keys)
+        assert any(k.startswith("1:") for k in keys)
+
+    def test_access_streams_interleave(self):
+        mix = MixWorkload(members())
+        owners = []
+        for event in mix.events(np.random.default_rng(0)):
+            if isinstance(event, AccessEvent):
+                owners.append(event.segments[0][0].split(":")[0])
+            if len(owners) >= 8:
+                break
+        assert set(owners) == {"0", "1"}  # both members active early
+
+    def test_weights_bias_the_schedule(self):
+        mix = MixWorkload(members(), weights=[3, 1])
+        owners = []
+        for event in mix.events(np.random.default_rng(0)):
+            if isinstance(event, AccessEvent):
+                owners.append(event.segments[0][0].split(":")[0])
+            if len(owners) >= 40:
+                break
+        assert owners.count("0") > 2 * owners.count("1")
+
+    def test_member_frees_pass_through(self):
+        mix = MixWorkload([make_workload("603.bwaves", TEST_SCALE)])
+        frees = [e for e in mix.events(np.random.default_rng(0))
+                 if isinstance(e, FreeEvent)]
+        assert frees
+        assert all(f.key.startswith("0:") for f in frees)
+
+
+class TestEndToEnd:
+    def test_runs_under_policies(self):
+        mix = MixWorkload(members())
+        machine = MachineSpec.from_ratio(mix.total_bytes, ratio="1:8")
+        sim = Simulation(mix, AllFastPolicy(), machine)
+        result = sim.run(max_accesses=200_000)
+        assert result.metrics.total_accesses >= 200_000
+        sim.space.check_consistency()
+
+    def test_memtis_handles_colocation(self):
+        from repro.policies.registry import make_policy
+
+        mix = MixWorkload(members())
+        machine = MachineSpec.from_ratio(mix.total_bytes, ratio="1:8")
+        sim = Simulation(mix, make_policy("memtis"), machine)
+        result = sim.run(max_accesses=400_000)
+        assert result.fast_hit_ratio > 0.05
+        sim.space.check_consistency()

@@ -1,0 +1,151 @@
+"""PEBS substrate: batches, interval sampling, overhead controller."""
+
+import numpy as np
+import pytest
+
+from repro.pebs.events import AccessBatch
+from repro.pebs.overhead import CpuOverheadModel, SamplingPeriodController
+from repro.pebs.sampler import PEBSSampler, SamplerConfig
+
+
+class TestAccessBatch:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AccessBatch(np.zeros(3, dtype=np.int64), np.zeros(2, dtype=bool))
+
+    def test_counts(self):
+        batch = AccessBatch(np.arange(4), np.array([True, False, True, True]))
+        assert len(batch) == 4
+        assert batch.num_stores == 3
+        assert batch.num_loads == 1
+
+    def test_rebase(self):
+        batch = AccessBatch.loads(np.array([0, 1, 2]))
+        shifted = batch.rebased(100)
+        assert list(shifted.vpn) == [100, 101, 102]
+        assert list(batch.vpn) == [0, 1, 2]  # original untouched
+
+    def test_concat_empty(self):
+        empty = AccessBatch.concat([])
+        assert len(empty) == 0
+
+    def test_concat(self):
+        a = AccessBatch.loads(np.array([1]))
+        b = AccessBatch(np.array([2]), np.array([True]))
+        merged = AccessBatch.concat([a, b])
+        assert list(merged.vpn) == [1, 2]
+        assert list(merged.is_store) == [False, True]
+
+
+class TestPEBSSampler:
+    def test_exact_every_nth_load(self):
+        sampler = PEBSSampler(SamplerConfig(load_period=10, store_period=1000))
+        batch = AccessBatch.loads(np.arange(100))
+        samples = sampler.sample(batch)
+        # Events 9, 19, ..., 99 -> 10 samples.
+        assert len(samples) == 10
+        assert list(samples.vpn) == list(np.arange(9, 100, 10))
+
+    def test_phase_carries_across_batches(self):
+        sampler = PEBSSampler(SamplerConfig(load_period=10, store_period=1000))
+        total = 0
+        for _ in range(7):
+            total += len(sampler.sample(AccessBatch.loads(np.arange(33))))
+        # 231 loads at period 10 -> 23 samples regardless of batching.
+        assert total == 23
+
+    def test_store_period_independent(self):
+        sampler = PEBSSampler(SamplerConfig(load_period=5, store_period=3))
+        vpns = np.arange(30)
+        is_store = np.zeros(30, dtype=bool)
+        is_store[15:] = True  # 15 loads then 15 stores
+        samples = sampler.sample(AccessBatch(vpns, is_store))
+        loads = int(np.count_nonzero(~samples.is_store))
+        stores = int(np.count_nonzero(samples.is_store))
+        assert loads == 3   # 15 / 5
+        assert stores == 5  # 15 / 3
+
+    def test_set_periods_reprograms(self):
+        sampler = PEBSSampler(SamplerConfig(load_period=10, store_period=10))
+        sampler.sample(AccessBatch.loads(np.arange(100)))
+        sampler.set_periods(50, 50)
+        samples = sampler.sample(AccessBatch.loads(np.arange(100)))
+        assert len(samples) == 2
+
+    def test_invalid_periods_rejected(self):
+        sampler = PEBSSampler()
+        with pytest.raises(ValueError):
+            sampler.set_periods(0, 10)
+
+    def test_buffer_overflow_drops(self):
+        sampler = PEBSSampler(
+            SamplerConfig(load_period=1, store_period=1000, buffer_capacity=10)
+        )
+        samples = sampler.sample(AccessBatch.loads(np.arange(100)))
+        assert len(samples) == 10
+        assert sampler.dropped_samples == 90
+        # The newest records survive (oldest dropped).
+        assert samples.vpn[-1] == 99
+
+    def test_counters(self):
+        sampler = PEBSSampler(SamplerConfig(load_period=4, store_period=1000))
+        sampler.sample(AccessBatch.loads(np.arange(40)))
+        assert sampler.total_events == 40
+        assert sampler.total_samples == 10
+
+
+class TestOverheadModel:
+    def test_usage_math(self):
+        model = CpuOverheadModel(per_sample_ns=100.0)
+        assert model.window_usage(30, 100_000) == pytest.approx(0.03)
+        assert model.window_usage(10, 0) == 0.0
+
+
+class TestPeriodController:
+    def make(self, **kw):
+        defaults = dict(limit=0.03, hysteresis=0.005, ema_weight=1.0,
+                        min_load_period=200, max_load_period=1400,
+                        min_store_period=100_000, max_store_period=700_000)
+        defaults.update(kw)
+        return SamplingPeriodController(**defaults)
+
+    def test_raises_period_when_over_limit(self):
+        ctl = self.make()
+        load, store = ctl.update(0.05, 200, 100_000)
+        assert load > 200
+        assert store > 100_000
+
+    def test_lowers_period_when_under_band(self):
+        ctl = self.make()
+        load, _ = ctl.update(0.05, 200, 100_000)
+        load, _ = ctl.update(0.001, load, 100_000)
+        assert load < 250
+
+    def test_hysteresis_prevents_flapping(self):
+        ctl = self.make()
+        load, store = ctl.update(0.032, 400, 200_000)  # inside the band
+        assert (load, store) == (400, 200_000)
+        assert ctl.adjustments == 0
+
+    def test_clamped_to_paper_range(self):
+        ctl = self.make()
+        load, store = 200, 100_000
+        for _ in range(50):
+            load, store = ctl.update(0.50, load, store)
+        assert load == 1400  # 7x the initial period (654.roms behaviour)
+        for _ in range(50):
+            load, store = ctl.update(0.0, load, store)
+        assert load == 200
+
+    def test_usage_statistics(self):
+        ctl = self.make()
+        ctl.update(0.02, 200, 100_000)
+        ctl.update(0.04, 200, 100_000)
+        assert ctl.mean_usage == pytest.approx(0.03)
+        assert ctl.max_usage == pytest.approx(0.04)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingPeriodController(limit=1.5)
+        with pytest.raises(ValueError):
+            SamplingPeriodController(limit=0.03, hysteresis=0.05)

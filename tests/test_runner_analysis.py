@@ -1,0 +1,111 @@
+"""Runner helpers and the analysis formatting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii import bar_chart, grouped_bar_chart, heatmap, timeline_chart
+from repro.analysis.tables import format_table
+from repro.sim.runner import (
+    build_simulation,
+    normalized_performance,
+    run_baseline,
+    run_experiment,
+    run_normalized,
+)
+
+from conftest import TEST_SCALE
+
+
+class TestRunner:
+    def test_run_experiment(self):
+        result = run_experiment("silo", "all-capacity", ratio="1:8",
+                                scale=TEST_SCALE, max_accesses=50_000)
+        assert result.policy_name == "all-capacity"
+        assert result.metrics.total_accesses >= 50_000
+        assert result.fast_hit_ratio <= 0.05
+
+    def test_baseline_normalises_to_one(self):
+        baseline = run_baseline("silo", ratio="1:8", scale=TEST_SCALE,
+                                max_accesses=50_000)
+        assert normalized_performance(baseline, baseline) == 1.0
+
+    def test_run_normalized_reuses_baseline(self):
+        baseline = run_baseline("silo", ratio="1:8", scale=TEST_SCALE,
+                                max_accesses=50_000)
+        out = run_normalized("silo", "all-fast", ratio="1:8", scale=TEST_SCALE,
+                             max_accesses=50_000, baseline=baseline)
+        assert out["baseline"] is baseline
+        assert out["normalized"] > 1.0  # DRAM placement beats all-NVM
+
+    def test_policy_kwargs_forwarded(self):
+        sim = build_simulation("silo", "memtis", scale=TEST_SCALE,
+                               policy_kwargs={"enable_split": False})
+        assert sim.policy.config.enable_split is False
+
+    def test_cxl_capacity_kind(self):
+        sim = build_simulation("silo", "all-capacity", scale=TEST_SCALE,
+                               capacity_kind="cxl")
+        assert sim.tiers.capacity.spec.name == "CXL"
+
+
+class TestTables:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xy", 0.123456]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "0.123" in text
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [["short"], ["a-very-long-cell"]])
+        lines = text.splitlines()
+        assert len(lines[1]) >= len("a-very-long-cell")
+
+
+class TestAsciiCharts:
+    def test_bar_chart_values_shown(self):
+        text = bar_chart(["x", "yy"], [1.0, 2.0], reference=1.0)
+        assert "2.000" in text
+        assert "|" in text  # reference marker
+
+    def test_bar_chart_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_grouped_bar_chart(self):
+        text = grouped_bar_chart(
+            ["g1", "g2"], {"s1": [1.0, 2.0], "s2": [0.5, 1.5]}
+        )
+        assert "[g1]" in text and "[g2]" in text
+
+    def test_heatmap(self):
+        grid = np.arange(100, dtype=float).reshape(10, 10)
+        text = heatmap(grid, title="hm", width=10, height=5)
+        assert "hm" in text
+        assert "@" in text  # maximum intensity shade appears
+
+    def test_heatmap_empty(self):
+        assert "empty" in heatmap(np.zeros((0, 4)))
+
+    def test_timeline_chart(self):
+        text = timeline_chart([0.0, 1.0, 2.0], {"hot": [1, 2, 3]})
+        assert "H=hot" in text
+
+    def test_timeline_chart_no_samples(self):
+        assert "no samples" in timeline_chart([], {"x": []})
+
+
+class TestRunRepeated:
+    def test_multi_seed_statistics(self):
+        from repro.sim.runner import run_repeated
+
+        out = run_repeated("silo", "all-fast", seeds=(1, 2), ratio="1:8",
+                           scale=TEST_SCALE, max_accesses=60_000)
+        assert out["min"] <= out["mean"] <= out["max"]
+        assert set(out["per_seed"]) == {1, 2}
+        assert len(out["results"]) == 2
+        # Different seeds produce different (but close) traces.
+        values = list(out["per_seed"].values())
+        assert values[0] != values[1]
+        assert abs(values[0] - values[1]) < 0.5 * out["mean"]

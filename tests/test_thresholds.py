@@ -1,0 +1,98 @@
+"""Algorithm 1: dynamic threshold adaptation."""
+
+import pytest
+
+from repro.core.histogram import AccessHistogram
+from repro.core.thresholds import (
+    INITIAL_THRESHOLDS,
+    Thresholds,
+    adapt_thresholds,
+    cold_set_bytes,
+    hot_set_bytes,
+    warm_set_bytes,
+)
+from repro.mem.pages import BASE_PAGE_SIZE
+
+MB = 1024 * 1024
+
+
+def hist_with(bins: dict) -> AccessHistogram:
+    hist = AccessHistogram()
+    for b, pages in bins.items():
+        hist.add(b, pages)
+    return hist
+
+
+class TestAlgorithm1:
+    def test_initial_values(self):
+        assert INITIAL_THRESHOLDS == Thresholds(hot=1, warm=1, cold=0)
+
+    def test_empty_histogram(self):
+        t = adapt_thresholds(AccessHistogram(), 8 * MB)
+        assert t.hot == 1
+        assert t.warm == 0  # hot set empty -> warm = hot - 1
+        assert t.cold == 0  # clamped
+
+    def test_expands_until_fast_tier_full(self):
+        # bins 15..13 hold 1000 pages each = ~3.9MB per bin.
+        hist = hist_with({15: 1000, 14: 1000, 13: 1000, 12: 1000})
+        fast = int(2.5 * 1000 * BASE_PAGE_SIZE)  # room for 2.5 bins
+        t = adapt_thresholds(hist, fast)
+        assert t.hot == 14  # bins 15+14 fit; adding 13 would overflow
+
+    def test_everything_fits(self):
+        hist = hist_with({15: 10, 8: 10})
+        t = adapt_thresholds(hist, 1000 * BASE_PAGE_SIZE)
+        assert t.hot == 1  # loop ran to b=0
+
+    def test_warm_equals_hot_when_nearly_full(self):
+        hist = hist_with({15: 950, 3: 5000})
+        fast = 1000 * BASE_PAGE_SIZE
+        t = adapt_thresholds(hist, fast, alpha=0.9)
+        assert t.hot == 4  # bin 15 fits (950 pages); bin 3 would overflow
+        assert t.warm == t.hot  # 950 >= 0.9 * 1000
+        assert t.cold == t.warm - 1
+
+    def test_warm_below_hot_when_underfull(self):
+        hist = hist_with({15: 100, 3: 5000})
+        fast = 1000 * BASE_PAGE_SIZE
+        t = adapt_thresholds(hist, fast, alpha=0.9)
+        assert t.warm == t.hot - 1  # 100 < 900
+        assert t.cold == t.warm - 1
+
+    def test_thresholds_never_negative(self):
+        hist = hist_with({0: 100})
+        t = adapt_thresholds(hist, MB)
+        assert t.warm >= 0 and t.cold >= 0
+
+    def test_more_fast_capacity_lowers_hot_threshold(self):
+        hist = hist_with({b: 100 for b in range(16)})
+        hots = [
+            adapt_thresholds(hist, pages * BASE_PAGE_SIZE).hot
+            for pages in (50, 150, 450, 1000, 2000)
+        ]
+        assert hots == sorted(hots, reverse=True)
+
+
+class TestClassification:
+    def test_classify(self):
+        t = Thresholds(hot=10, warm=9, cold=8)
+        assert t.classify(12) == "hot"
+        assert t.classify(10) == "hot"
+        assert t.classify(9) == "warm"
+        assert t.classify(8) == "warm"
+        assert t.classify(7) == "cold"
+
+    def test_set_sizes_partition_everything(self):
+        hist = hist_with({15: 100, 10: 200, 5: 300, 0: 400})
+        t = Thresholds(hot=10, warm=9, cold=6)
+        total = (hot_set_bytes(hist, t) + warm_set_bytes(hist, t)
+                 + cold_set_bytes(hist, t))
+        # hot >= 10, warm in [cold, hot), cold < 6: everything except
+        # bins in [6, cold) overlap -- partition must cover all pages.
+        assert total == hist.total_pages * BASE_PAGE_SIZE
+
+    def test_hot_set_bytes(self):
+        hist = hist_with({15: 10, 14: 20, 2: 30})
+        t = Thresholds(hot=14, warm=13, cold=12)
+        assert hot_set_bytes(hist, t) == 30 * BASE_PAGE_SIZE

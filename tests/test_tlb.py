@@ -1,0 +1,105 @@
+"""Split TLB behaviour: hits, LRU eviction, shootdowns, reach."""
+
+import numpy as np
+import pytest
+
+from repro.mem.tlb import TLB, TLBConfig
+
+
+def loads(vpns):
+    return np.asarray(vpns, dtype=np.int64)
+
+
+def base(n):
+    return np.zeros(n, dtype=bool)
+
+
+def huge(n):
+    return np.ones(n, dtype=bool)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TLBConfig(entries_4k=0)
+        with pytest.raises(ValueError):
+            TLBConfig(entries_4k=10, ways=4)  # not divisible
+        with pytest.raises(ValueError):
+            TLBConfig(sample_stride=0)
+
+
+class TestBasicBehaviour:
+    def test_first_access_misses_then_hits(self):
+        tlb = TLB(TLBConfig(entries_4k=16, entries_2m=8, ways=4, sample_stride=1))
+        tlb.access_substream(loads([5]), base(1))
+        assert tlb.stats.misses_4k == 1
+        tlb.access_substream(loads([5]), base(1))
+        assert tlb.stats.hits_4k == 1
+
+    def test_walk_levels_depend_on_page_size(self):
+        tlb = TLB(TLBConfig(entries_4k=16, entries_2m=8, ways=4, sample_stride=1))
+        walk = tlb.access_substream(loads([1]), base(1))
+        assert walk == 4
+        walk = tlb.access_substream(loads([5000]), huge(1))
+        assert walk == 3
+
+    def test_huge_entry_covers_whole_2mb(self):
+        tlb = TLB(TLBConfig(entries_4k=16, entries_2m=8, ways=4, sample_stride=1))
+        tlb.access_substream(loads([512 * 7 + 3]), huge(1))
+        tlb.access_substream(loads([512 * 7 + 400]), huge(1))
+        assert tlb.stats.hits_2m == 1  # same hpn, different subpage
+
+    def test_lru_eviction_within_set(self):
+        # Direct-mapped-ish: 4 entries, 4 ways = 1 set.
+        tlb = TLB(TLBConfig(entries_4k=4, entries_2m=4, ways=4, sample_stride=1))
+        tlb.access_substream(loads([0, 1, 2, 3]), base(4))
+        tlb.access_substream(loads([0]), base(1))  # refresh 0
+        tlb.access_substream(loads([4]), base(1))  # evicts LRU = 1
+        tlb.access_substream(loads([0]), base(1))
+        assert tlb.stats.hits_4k == 2  # the refresh and the final 0
+        tlb.access_substream(loads([1]), base(1))
+        assert tlb.stats.misses_4k == 6  # 0..3, 4, and re-fetched 1
+
+    def test_miss_ratio(self):
+        tlb = TLB(TLBConfig(entries_4k=16, entries_2m=8, ways=4, sample_stride=1))
+        tlb.access_substream(loads([1, 1, 1, 2]), base(4))
+        assert tlb.stats.miss_ratio == pytest.approx(0.5)
+
+
+class TestShootdown:
+    def test_shootdown_forces_refetch(self):
+        tlb = TLB(TLBConfig(entries_4k=16, entries_2m=8, ways=4, sample_stride=1))
+        tlb.access_substream(loads([512]), huge(1))
+        tlb.shootdown_huge(1)
+        assert tlb.stats.shootdowns == 1
+        assert tlb.stats.invalidated_entries == 1
+        tlb.access_substream(loads([512]), huge(1))
+        assert tlb.stats.misses_2m == 2
+
+    def test_shootdown_of_absent_entry_counts_shootdown_only(self):
+        tlb = TLB()
+        tlb.shootdown_base(999)
+        assert tlb.stats.shootdowns == 1
+        assert tlb.stats.invalidated_entries == 0
+
+    def test_flush_clears_everything(self):
+        tlb = TLB(TLBConfig(entries_4k=16, entries_2m=8, ways=4, sample_stride=1))
+        tlb.access_substream(loads([1, 2, 3]), base(3))
+        tlb.flush()
+        assert tlb.stats.invalidated_entries == 3
+        tlb.access_substream(loads([1]), base(1))
+        assert tlb.stats.misses_4k == 4
+
+
+class TestReach:
+    def test_huge_pages_massively_reduce_misses_on_big_footprints(self):
+        """The §2.3 motivation: THP raises TLB reach."""
+        config = TLBConfig(entries_4k=64, entries_2m=64, ways=4, sample_stride=1)
+        rng = np.random.default_rng(1)
+        vpns = rng.integers(0, 20_000, 20_000, dtype=np.int64)
+
+        tlb_base = TLB(config)
+        tlb_base.access_substream(vpns, base(len(vpns)))
+        tlb_huge = TLB(config)
+        tlb_huge.access_substream(vpns, huge(len(vpns)))
+        assert tlb_huge.stats.miss_ratio < tlb_base.stats.miss_ratio / 5
