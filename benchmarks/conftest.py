@@ -22,6 +22,18 @@ BENCH_SCALE = ScaleSpec(
 )
 
 
+@pytest.fixture(autouse=True)
+def _result_cache_in_tmpdir(tmp_path, monkeypatch):
+    """Benchmarks must never hit (or pollute) a user's result cache."""
+    from repro.sim import cache as result_cache
+
+    cache_dir = tmp_path / "result-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    result_cache.configure(cache_dir=cache_dir)
+    yield
+    result_cache.reset()
+
+
 @pytest.fixture
 def bench_scale():
     return BENCH_SCALE

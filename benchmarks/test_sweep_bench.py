@@ -1,0 +1,44 @@
+"""Serial vs parallel vs cached ``run_grid`` on a small Fig-5 subgrid.
+
+The interesting numbers: the parallel/serial ratio (how much of the
+fan-out the executor converts into wall-clock) and the cached pass,
+which should be orders of magnitude below both.
+"""
+
+import pytest
+
+from repro.experiments.common import run_grid
+from repro.sim.cache import ResultCache
+
+from conftest import BENCH_SCALE, run_once
+
+#: 2 workloads x 2 policies x 1 ratio + 2 shared baselines = 6 simulations.
+GRID = dict(workloads=["silo", "btree"], policies=["tpp", "memtis"],
+            ratios=["1:8"], scale=BENCH_SCALE)
+
+
+@pytest.mark.benchmark(group="sweep-grid")
+def test_grid_serial(benchmark):
+    out = run_once(benchmark, run_grid, jobs=1, cache=None, **GRID)
+    assert len(out) == 4
+
+
+@pytest.mark.benchmark(group="sweep-grid")
+def test_grid_parallel_2(benchmark):
+    out = run_once(benchmark, run_grid, jobs=2, cache=None, **GRID)
+    assert len(out) == 4
+
+
+@pytest.mark.benchmark(group="sweep-grid")
+def test_grid_parallel_4(benchmark):
+    out = run_once(benchmark, run_grid, jobs=4, cache=None, **GRID)
+    assert len(out) == 4
+
+
+@pytest.mark.benchmark(group="sweep-grid")
+def test_grid_cached(benchmark, tmp_path):
+    cache = ResultCache(tmp_path / "bench-cache")
+    run_grid(jobs=1, cache=cache, **GRID)  # warm every cell
+    out = run_once(benchmark, run_grid, jobs=1, cache=cache, **GRID)
+    assert len(out) == 4
+    assert cache.stats.hits >= 6  # all cells + baselines served from disk

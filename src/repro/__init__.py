@@ -16,8 +16,12 @@ Quick start::
 
 Public surface:
 
+* :class:`repro.sim.runner.RunSpec` -- frozen, hashable description of
+  one run: ``spec.run()`` executes it with persistent result caching,
+  :func:`repro.sim.sweep.run_sweep` fans many specs out over worker
+  processes;
 * :func:`repro.sim.runner.run_experiment` / :func:`run_normalized` --
-  one-call experiments by workload/policy name;
+  one-call experiments by workload/policy name (thin RunSpec wrappers);
 * :class:`repro.sim.engine.Simulation` -- the engine, for custom setups;
 * :class:`repro.core.MemtisPolicy` and :mod:`repro.policies` -- MEMTIS
   and the six baselines;
@@ -29,11 +33,14 @@ from repro.core import MemtisConfig, MemtisPolicy
 from repro.policies import make_policy, policy_names
 from repro.sim import (
     MachineSpec,
+    ResultCache,
+    RunSpec,
     ScaleSpec,
     SimResult,
     Simulation,
     run_experiment,
     run_normalized,
+    run_sweep,
 )
 from repro.workloads import make_workload, workload_names
 
@@ -45,11 +52,14 @@ __all__ = [
     "make_policy",
     "policy_names",
     "MachineSpec",
+    "ResultCache",
+    "RunSpec",
     "ScaleSpec",
     "SimResult",
     "Simulation",
     "run_experiment",
     "run_normalized",
+    "run_sweep",
     "make_workload",
     "workload_names",
     "__version__",

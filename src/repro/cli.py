@@ -17,10 +17,12 @@ import argparse
 import sys
 
 from repro.analysis.tables import format_table
+from repro.experiments.__main__ import add_execution_args, apply_execution_args
 from repro.experiments.common import EXPERIMENT_REGISTRY
 from repro.policies.registry import policy_names
 from repro.sim.machine import DEFAULT_SCALE, MachineSpec, ScaleSpec
-from repro.sim.runner import run_baseline, run_experiment, normalized_performance
+from repro.sim.runner import RunSpec, normalized_performance
+from repro.sim.sweep import raise_failures, run_sweep
 from repro.workloads.registry import make_workload, workload_names
 
 QUICK_SCALE = ScaleSpec(
@@ -38,10 +40,18 @@ def _scale(args) -> ScaleSpec:
 def cmd_run(args) -> int:
     scale = _scale(args)
     kind = "cxl" if args.cxl else "nvm"
+    apply_execution_args(args)
     print(f"running {args.policy} on {args.workload} "
           f"@ {args.ratio} ({kind}) ...")
-    result = run_experiment(args.workload, args.policy, ratio=args.ratio,
-                            capacity_kind=kind, scale=scale, seed=args.seed)
+    spec = RunSpec(args.workload, args.policy, ratio=args.ratio,
+                   capacity_kind=kind, scale=scale, seed=args.seed)
+    # The sweep executor runs the policy and its baseline in parallel
+    # with --jobs 2, and serves both from the persistent cache on
+    # repeated invocations.
+    specs = [spec] if args.no_baseline else [spec, spec.baseline_spec()]
+    outcomes = run_sweep(specs, jobs=args.jobs)
+    raise_failures(outcomes)
+    result = outcomes[spec].result
     rows = [
         ["simulated runtime", f"{result.runtime_ns / 1e6:.1f} ms"],
         ["fast-tier hit ratio", f"{result.fast_hit_ratio * 100:.1f}%"],
@@ -51,9 +61,7 @@ def cmd_run(args) -> int:
         ["final RSS", f"{result.final_rss_bytes / 1e6:.1f} MB"],
     ]
     if not args.no_baseline:
-        baseline = run_baseline(args.workload, ratio=args.ratio,
-                                capacity_kind=kind, scale=scale,
-                                seed=args.seed)
+        baseline = outcomes[spec.baseline_spec()].result
         rows.insert(0, ["normalised performance",
                         f"{normalized_performance(result, baseline):.3f}x"])
     print(format_table(["metric", "value"], rows))
@@ -111,6 +119,7 @@ def main(argv=None) -> int:
     p_run.add_argument("--seed", type=int, default=42)
     p_run.add_argument("--no-baseline", action="store_true",
                        help="skip the all-capacity normalisation run")
+    add_execution_args(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_list = sub.add_parser("list", help="list workloads/policies/experiments")

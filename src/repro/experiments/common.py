@@ -6,8 +6,11 @@ import importlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from repro.sim import cache as result_cache
+from repro.sim.engine import json_safe
 from repro.sim.machine import DEFAULT_SCALE, ScaleSpec
-from repro.sim.runner import run_baseline, run_experiment, normalized_performance
+from repro.sim.runner import RunSpec, normalized_performance, run_baseline
+from repro.sim.sweep import run_sweep, raise_failures
 from repro.workloads.registry import PAPER_ORDER
 
 #: Quick scale for tests / smoke runs of the experiment modules.
@@ -33,20 +36,13 @@ class ExperimentResult:
         print(self.text)
 
     def save(self, path: str) -> None:
-        """Write the rendered text and the raw data as JSON."""
+        """Write the rendered text and the raw data as JSON.
+
+        ``data`` may contain numpy scalars/arrays and whole
+        :class:`~repro.sim.engine.SimResult` objects; everything is
+        converted through :func:`repro.sim.engine.json_safe`.
+        """
         import json
-
-        def default(obj):
-            try:
-                import numpy as np
-
-                if isinstance(obj, np.generic):
-                    return obj.item()
-                if isinstance(obj, np.ndarray):
-                    return obj.tolist()
-            except ImportError:  # pragma: no cover
-                pass
-            return str(obj)
 
         with open(path, "w") as fh:
             json.dump(
@@ -54,9 +50,9 @@ class ExperimentResult:
                     "experiment_id": self.experiment_id,
                     "title": self.title,
                     "text": self.text,
-                    "data": self.data,
+                    "data": json_safe(self.data),
                 },
-                fh, indent=2, default=default,
+                fh, indent=2,
             )
 
 
@@ -88,31 +84,58 @@ def run_grid(
     seed: int = 42,
     policy_kwargs: Optional[Dict[str, dict]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = None,
+    cache=result_cache.DEFAULT,
+    strict: bool = True,
 ) -> Dict[Tuple[str, str, str], Dict[str, object]]:
     """Run every (workload, policy, ratio) combo, normalised per cell.
 
+    Cells (plus the one shared all-capacity baseline per
+    (workload, ratio)) are executed through :func:`repro.sim.sweep.run_sweep`:
+    deduplicated, served from the persistent result cache when possible,
+    and fanned out over ``jobs`` worker processes (default: the
+    ``--jobs``/``REPRO_JOBS`` setting, else serial).  ``progress``
+    receives one human-readable message per completed cell.
+
     Returns ``{(workload, policy, ratio): {"normalized": float,
-    "result": SimResult}}``.
+    "result": SimResult, "baseline": SimResult}}``.  With
+    ``strict=False`` a failed cell yields ``{"error": str}`` instead of
+    aborting the grid.
     """
     scale = scale or DEFAULT_SCALE
-    baselines = BaselineCache(scale, capacity_kind, seed)
-    out: Dict[Tuple[str, str, str], Dict[str, object]] = {}
+    cells: Dict[Tuple[str, str, str], RunSpec] = {}
     for workload in workloads:
         for ratio in ratios:
-            baseline = baselines.get(workload, ratio)
             for policy in policies:
-                if progress:
-                    progress(f"{workload} {policy} {ratio}")
-                kwargs = (policy_kwargs or {}).get(policy, {})
-                result = run_experiment(
-                    workload, policy, ratio=ratio, capacity_kind=capacity_kind,
-                    scale=scale, seed=seed, policy_kwargs=kwargs,
+                cells[(workload, policy, ratio)] = RunSpec(
+                    workload, policy, ratio=ratio,
+                    capacity_kind=capacity_kind, scale=scale, seed=seed,
+                    policy_kwargs=(policy_kwargs or {}).get(policy, {}),
                 )
-                out[(workload, policy, ratio)] = {
-                    "normalized": normalized_performance(result, baseline),
-                    "result": result,
-                    "baseline": baseline,
-                }
+    # Baselines first so serial execution warms them before the cells
+    # that normalise against them; dedup in run_sweep makes each unique
+    # baseline run exactly once however many policies share it.
+    baselines = [spec.baseline_spec() for spec in cells.values()]
+    outcomes = run_sweep(
+        list(dict.fromkeys(baselines)) + list(cells.values()),
+        jobs=jobs, cache=cache,
+        progress=(lambda event: progress(event.message)) if progress else None,
+    )
+    if strict:
+        raise_failures(outcomes)
+
+    out: Dict[Tuple[str, str, str], Dict[str, object]] = {}
+    for key, spec in cells.items():
+        cell = outcomes[spec]
+        baseline = outcomes[spec.baseline_spec()]
+        if not (cell.ok and baseline.ok):
+            out[key] = {"error": cell.error or baseline.error}
+            continue
+        out[key] = {
+            "normalized": normalized_performance(cell.result, baseline.result),
+            "result": cell.result,
+            "baseline": baseline.result,
+        }
     return out
 
 

@@ -19,9 +19,10 @@ what happens on its critical path and nothing else.*
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -78,6 +79,80 @@ class SimResult:
             "rss_mb": self.final_rss_bytes / 1e6,
             "tlb_miss_ratio": self.tlb.miss_ratio,
         }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of the full result (numpy scalars converted).
+
+        Timeline points keep their per-window fields plus the derived
+        ratios the figures plot; cumulative stats come out as plain
+        dicts with their derived properties included.
+        """
+        metrics = self.metrics
+        return json_safe({
+            "workload_name": self.workload_name,
+            "policy_name": self.policy_name,
+            "machine": dataclasses.asdict(self.machine),
+            "runtime_ns": self.runtime_ns,
+            "fast_hit_ratio": self.fast_hit_ratio,
+            "throughput_maps": self.throughput_maps,
+            "metrics": {
+                "total_accesses": metrics.total_accesses,
+                "total_fast_hits": metrics.total_fast_hits,
+                "mem_ns": metrics.mem_ns,
+                "compute_ns": metrics.compute_ns,
+                "walk_ns": metrics.walk_ns,
+                "fault_ns": metrics.fault_ns,
+                "critical_policy_ns": metrics.critical_policy_ns,
+                "contention_extra_ns": metrics.contention_extra_ns,
+                "num_hint_faults": metrics.num_hint_faults,
+                "timeline": [
+                    dict(
+                        dataclasses.asdict(point),
+                        throughput_mops=point.throughput_mops,
+                        hit_ratio=point.hit_ratio,
+                    )
+                    for point in metrics.timeline
+                ],
+            },
+            "migration": dict(
+                dataclasses.asdict(self.migration),
+                traffic_bytes=self.migration.traffic_bytes,
+            ),
+            "tlb": dict(
+                dataclasses.asdict(self.tlb),
+                miss_ratio=self.tlb.miss_ratio,
+            ),
+            "final_rss_bytes": self.final_rss_bytes,
+            "final_touched_bytes": self.final_touched_bytes,
+            "huge_page_ratio": self.huge_page_ratio,
+            "policy_stats": self.policy_stats,
+            "sampler_stats": self.sampler_stats,
+            "wall_seconds": self.wall_seconds,
+        })
+
+
+def json_safe(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serialisable plain types.
+
+    Handles numpy scalars/arrays, dataclasses (via :meth:`SimResult.to_dict`
+    where available), mappings and sequences; anything else falls back to
+    ``str``.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, SimResult):
+        return obj.to_dict()
+    if isinstance(obj, dict):
+        return {str(k): json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [json_safe(v) for v in obj]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return json_safe(dataclasses.asdict(obj))
+    return str(obj)
 
 
 class Simulation:

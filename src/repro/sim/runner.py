@@ -1,4 +1,16 @@
-"""Run helpers: building simulations by name and paper-style normalisation.
+"""Run specifications and helpers: the ``RunSpec`` API plus paper-style
+normalisation.
+
+:class:`RunSpec` is the unit of execution for everything above the raw
+engine: a frozen, hashable description of one simulation (workload,
+policy, ratio, capacity kind, scale, seed, policy kwargs, access budget,
+machine variant).  It is what the parallel sweep executor
+(:mod:`repro.sim.sweep`) pickles to worker processes and what the
+persistent result cache (:mod:`repro.sim.cache`) hashes for its
+content-addressed keys.  ``RunSpec.build()`` constructs the
+:class:`~repro.sim.engine.Simulation`, ``RunSpec.run()`` executes it
+(consulting the cache), and ``RunSpec.baseline_spec()`` derives the
+matching all-capacity reference run.
 
 The paper reports "relative performance normalized to the performance of
 the all-NVM case with THP enabled" (§6.1).  :func:`run_normalized`
@@ -6,17 +18,220 @@ reproduces that: it runs the workload once on an all-capacity machine
 under the static no-tiering policy and once under the policy of
 interest, and returns ``baseline_runtime / runtime`` (higher is better,
 1.0 = all-capacity performance).
+
+The historical kwarg entry points (:func:`build_simulation`,
+:func:`run_experiment`, :func:`run_baseline`, :func:`run_normalized`)
+remain as thin wrappers over ``RunSpec`` so no caller breaks.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.policies.registry import make_policy
-from repro.policies.static import AllCapacityPolicy
+from repro.sim import cache as result_cache
 from repro.sim.engine import Simulation, SimResult
-from repro.sim.machine import DEFAULT_SCALE, MachineSpec, ScaleSpec
+from repro.sim.machine import (
+    DEFAULT_SCALE,
+    TIERING_RATIOS,
+    MachineSpec,
+    ScaleSpec,
+)
+from repro.mem.tiers import CAPACITY_SPECS
 from repro.workloads.registry import make_workload
+
+#: Bump when engine/policy changes alter simulation results: old cache
+#: entries become unreachable without deleting the cache directory.
+SPEC_SCHEMA_VERSION = 1
+
+#: Machine variants a spec can request (see :meth:`MachineSpec.all_capacity`).
+MACHINE_VARIANTS = ("tiered", "all-capacity", "all-fast")
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert ``value`` into a hashable representation."""
+    if isinstance(value, Mapping):
+        return _FrozenDict(
+            tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, set):
+        return tuple(sorted(_freeze(v) for v in value))
+    return value
+
+
+def _thaw(value: Any) -> Any:
+    """Inverse of :func:`_freeze` (tuples stay tuples; dicts come back)."""
+    if isinstance(value, _FrozenDict):
+        return value.thaw()
+    if isinstance(value, tuple):
+        return tuple(_thaw(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class _FrozenDict:
+    """Hashable stand-in for a kwargs mapping inside a frozen spec."""
+
+    items: Tuple[Tuple[str, Any], ...] = ()
+
+    def thaw(self) -> Dict[str, Any]:
+        return {k: _thaw(v) for k, v in self.items}
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Complete, hashable description of one simulation run.
+
+    Construct with plain kwargs -- ``policy_kwargs`` may be an ordinary
+    dict; it is frozen internally so specs stay hashable::
+
+        spec = RunSpec("silo", "memtis", ratio="1:8", seed=7,
+                       policy_kwargs={"enable_split": False})
+        result = spec.run()                       # cached, deterministic
+        baseline = spec.baseline_spec().run()     # the paper's 1.0 line
+    """
+
+    workload: str
+    policy: str
+    ratio: str = "1:8"
+    capacity_kind: str = "nvm"
+    scale: ScaleSpec = DEFAULT_SCALE
+    seed: int = 42
+    policy_kwargs: _FrozenDict = _FrozenDict()
+    max_accesses: Optional[int] = None
+    machine_variant: str = "tiered"
+    force_base_pages: bool = False
+
+    def __post_init__(self):
+        if self.scale is None:
+            object.__setattr__(self, "scale", DEFAULT_SCALE)
+        if not isinstance(self.policy_kwargs, _FrozenDict):
+            object.__setattr__(
+                self, "policy_kwargs", _freeze(dict(self.policy_kwargs or {}))
+            )
+        if self.ratio not in TIERING_RATIOS:
+            raise ValueError(
+                f"unknown ratio {self.ratio!r}; expected {sorted(TIERING_RATIOS)}"
+            )
+        if self.capacity_kind not in CAPACITY_SPECS:
+            raise ValueError(
+                f"unknown capacity kind {self.capacity_kind!r}; "
+                f"expected one of {sorted(CAPACITY_SPECS)}"
+            )
+        if self.machine_variant not in MACHINE_VARIANTS:
+            raise ValueError(
+                f"unknown machine variant {self.machine_variant!r}; "
+                f"expected one of {MACHINE_VARIANTS}"
+            )
+
+    # -- derived specs -----------------------------------------------------
+
+    def replace(self, **changes) -> "RunSpec":
+        """A copy with ``changes`` applied (dict ``policy_kwargs`` ok)."""
+        return dataclasses.replace(self, **changes)
+
+    def baseline_spec(self) -> "RunSpec":
+        """The all-capacity-with-THP reference run for this spec.
+
+        Same workload, scale, seed, ratio and capacity kind; the machine
+        collapses to the all-capacity variant under the static
+        no-tiering policy -- the paper's 1.0 normalisation line.
+        """
+        return self.replace(
+            policy="all-capacity",
+            policy_kwargs={},
+            machine_variant="all-capacity",
+            force_base_pages=False,
+        )
+
+    @property
+    def policy_kwargs_dict(self) -> Dict[str, Any]:
+        return self.policy_kwargs.thaw()
+
+    # -- execution ---------------------------------------------------------
+
+    def build(self) -> Simulation:
+        """Construct the :class:`Simulation` this spec describes."""
+        workload = make_workload(self.workload, self.scale)
+        machine = MachineSpec.from_ratio(
+            workload.total_bytes, ratio=self.ratio,
+            capacity_kind=self.capacity_kind,
+        )
+        if self.machine_variant == "all-capacity":
+            machine = machine.all_capacity()
+        elif self.machine_variant == "all-fast":
+            machine = machine.all_fast()
+        policy = make_policy(self.policy, **self.policy_kwargs_dict)
+        return Simulation(
+            workload, policy, machine, seed=self.seed,
+            force_base_pages=self.force_base_pages,
+        )
+
+    def run(self, cache=result_cache.DEFAULT) -> SimResult:
+        """Execute (or fetch from cache) and return the :class:`SimResult`.
+
+        ``cache`` follows :func:`repro.sim.cache.resolve_cache`:
+        ``"default"`` uses the process-wide cache, ``None`` disables
+        caching, a :class:`~repro.sim.cache.ResultCache` is used as-is.
+        """
+        cache = result_cache.resolve_cache(cache)
+        if cache is not None:
+            hit = cache.get(self)
+            if hit is not None:
+                return hit
+        result = self.build().run(max_accesses=self.max_accesses)
+        if cache is not None:
+            cache.put(self, result)
+        return result
+
+    # -- identity / serialisation -----------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict capturing every result-relevant field."""
+        return {
+            "workload": self.workload,
+            "policy": self.policy,
+            "ratio": self.ratio,
+            "capacity_kind": self.capacity_kind,
+            "scale": dataclasses.asdict(self.scale),
+            "seed": self.seed,
+            "policy_kwargs": self.policy_kwargs_dict,
+            "max_accesses": self.max_accesses,
+            "machine_variant": self.machine_variant,
+            "force_base_pages": self.force_base_pages,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        data = dict(data)
+        scale = data.get("scale")
+        if isinstance(scale, Mapping):
+            data["scale"] = ScaleSpec(**scale)
+        return cls(**data)
+
+    def cache_key(self) -> str:
+        """Deterministic content hash for the persistent result cache."""
+        payload = json.dumps(
+            {"schema": SPEC_SCHEMA_VERSION, **self.to_dict()},
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable cell name for progress output."""
+        parts = [self.workload, self.policy, self.ratio]
+        if self.machine_variant != "tiered":
+            parts.append(self.machine_variant)
+        return " ".join(parts)
+
+
+# -- kwarg wrappers (historical API, kept for compatibility) ----------------
 
 
 def build_simulation(
@@ -30,7 +245,21 @@ def build_simulation(
     policy_kwargs: Optional[dict] = None,
     **sim_kwargs,
 ) -> Simulation:
-    """Construct a simulation from registry names."""
+    """Construct a simulation from registry names.
+
+    The common path (no explicit ``machine``, no engine kwargs) goes
+    through :meth:`RunSpec.build`; an explicit machine or engine kwargs
+    (``cost_model``, ``tlb_config``, ...) fall back to direct
+    construction since they are not part of a spec.
+    """
+    force_base_pages = bool(sim_kwargs.pop("force_base_pages", False))
+    if machine is None and not sim_kwargs:
+        return RunSpec(
+            workload_name, policy_name, ratio=ratio,
+            capacity_kind=capacity_kind, scale=scale, seed=seed,
+            policy_kwargs=policy_kwargs or {},
+            force_base_pages=force_base_pages,
+        ).build()
     scale = scale or DEFAULT_SCALE
     workload = make_workload(workload_name, scale)
     if machine is None:
@@ -38,7 +267,8 @@ def build_simulation(
             workload.total_bytes, ratio=ratio, capacity_kind=capacity_kind
         )
     policy = make_policy(policy_name, **(policy_kwargs or {}))
-    return Simulation(workload, policy, machine, seed=seed, **sim_kwargs)
+    return Simulation(workload, policy, machine, seed=seed,
+                      force_base_pages=force_base_pages, **sim_kwargs)
 
 
 def run_experiment(
@@ -49,14 +279,30 @@ def run_experiment(
     scale: Optional[ScaleSpec] = None,
     seed: int = 42,
     max_accesses: Optional[int] = None,
-    **kwargs,
+    policy_kwargs: Optional[dict] = None,
+    force_base_pages: bool = False,
+    cache=result_cache.DEFAULT,
+    **sim_kwargs,
 ) -> SimResult:
-    """Build and run one configuration."""
-    sim = build_simulation(
+    """Build and run one configuration (thin wrapper over ``RunSpec.run``).
+
+    Engine kwargs outside the spec (``cost_model``, ``tlb_config``, ...)
+    still work but bypass the result cache, since the cache key cannot
+    capture them.
+    """
+    if sim_kwargs:
+        sim = build_simulation(
+            workload_name, policy_name, ratio=ratio,
+            capacity_kind=capacity_kind, scale=scale, seed=seed,
+            policy_kwargs=policy_kwargs, force_base_pages=force_base_pages,
+            **sim_kwargs,
+        )
+        return sim.run(max_accesses=max_accesses)
+    return RunSpec(
         workload_name, policy_name, ratio=ratio, capacity_kind=capacity_kind,
-        scale=scale, seed=seed, **kwargs,
-    )
-    return sim.run(max_accesses=max_accesses)
+        scale=scale, seed=seed, policy_kwargs=policy_kwargs or {},
+        max_accesses=max_accesses, force_base_pages=force_base_pages,
+    ).run(cache=cache)
 
 
 def run_baseline(
@@ -66,15 +312,14 @@ def run_baseline(
     scale: Optional[ScaleSpec] = None,
     seed: int = 42,
     max_accesses: Optional[int] = None,
+    cache=result_cache.DEFAULT,
 ) -> SimResult:
     """All-capacity-tier (with THP) run: the paper's 1.0 reference."""
-    scale = scale or DEFAULT_SCALE
-    workload = make_workload(workload_name, scale)
-    machine = MachineSpec.from_ratio(
-        workload.total_bytes, ratio=ratio, capacity_kind=capacity_kind
-    ).all_capacity()
-    sim = Simulation(workload, AllCapacityPolicy(), machine, seed=seed)
-    return sim.run(max_accesses=max_accesses)
+    return RunSpec(
+        workload_name, "all-capacity", ratio=ratio,
+        capacity_kind=capacity_kind, scale=scale, seed=seed,
+        max_accesses=max_accesses, machine_variant="all-capacity",
+    ).run(cache=cache)
 
 
 def run_repeated(
@@ -131,6 +376,7 @@ def run_normalized(
     seed: int = 42,
     max_accesses: Optional[int] = None,
     baseline: Optional[SimResult] = None,
+    cache=result_cache.DEFAULT,
     **kwargs,
 ) -> Dict[str, object]:
     """Run a configuration and normalise against the all-capacity baseline.
@@ -141,11 +387,12 @@ def run_normalized(
     if baseline is None:
         baseline = run_baseline(
             workload_name, ratio=ratio, capacity_kind=capacity_kind,
-            scale=scale, seed=seed, max_accesses=max_accesses,
+            scale=scale, seed=seed, max_accesses=max_accesses, cache=cache,
         )
     result = run_experiment(
         workload_name, policy_name, ratio=ratio, capacity_kind=capacity_kind,
-        scale=scale, seed=seed, max_accesses=max_accesses, **kwargs,
+        scale=scale, seed=seed, max_accesses=max_accesses, cache=cache,
+        **kwargs,
     )
     return {
         "normalized": normalized_performance(result, baseline),

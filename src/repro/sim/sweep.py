@@ -1,0 +1,232 @@
+"""Parallel sweep executor: fan :class:`RunSpec` cells out over workers.
+
+Reproducing a paper figure means sweeping a grid of configurations --
+Fig. 5 alone is 8 workloads x 7 policies x 3 ratios plus 24 shared
+baselines.  :func:`run_sweep` executes any collection of specs:
+
+* **deduplicated** -- identical specs (notably the all-capacity
+  baselines shared by every policy in a (workload, ratio) cell) are
+  executed exactly once, regardless of how many times they appear;
+* **cached** -- specs whose results are already in the persistent
+  :mod:`repro.sim.cache` are not executed at all;
+* **parallel** -- remaining cells fan out over a
+  ``concurrent.futures.ProcessPoolExecutor`` with ``jobs`` workers;
+  ``jobs=1`` degrades to in-process serial execution with bit-identical
+  results (every simulation derives its randomness from the spec seed);
+* **fault-isolated** -- a cell that raises, or a worker process that
+  dies outright, is retried ``retries`` times and then reported as a
+  failed :class:`CellOutcome` while the rest of the sweep completes;
+* **observable** -- a ``progress`` callback receives a
+  :class:`SweepEvent` per completed cell (accepting callbacks that take
+  the event or just a message string).
+
+The default worker count comes from :func:`set_default_jobs` (set by the
+CLI ``--jobs`` flag) or the ``REPRO_JOBS`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim import cache as result_cache
+from repro.sim.engine import SimResult
+from repro.sim.runner import RunSpec
+
+# -- default parallelism ------------------------------------------------------
+
+_default_jobs: Optional[int] = None
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default worker count (``None`` resets)."""
+    global _default_jobs
+    _default_jobs = None if jobs is None else max(1, int(jobs))
+
+
+def default_jobs() -> int:
+    """Configured default, else ``$REPRO_JOBS``, else 1 (serial)."""
+    if _default_jobs is not None:
+        return _default_jobs
+    env = os.environ.get("REPRO_JOBS", "")
+    try:
+        return max(1, int(env))
+    except ValueError:
+        return 1
+
+
+# -- outcomes and progress ----------------------------------------------------
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one sweep cell."""
+
+    spec: RunSpec
+    result: Optional[SimResult] = None
+    error: Optional[str] = None
+    from_cache: bool = False
+    attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+@dataclass
+class SweepEvent:
+    """Progress notification for one completed (or retried) cell."""
+
+    status: str  #: "cached" | "done" | "failed" | "retry"
+    spec: RunSpec
+    completed: int
+    total: int
+    error: Optional[str] = None
+
+    @property
+    def message(self) -> str:
+        tag = {"cached": " [cached]", "failed": " [FAILED]",
+               "retry": " [retrying]"}.get(self.status, "")
+        return f"{self.spec.label()}{tag} ({self.completed}/{self.total})"
+
+
+ProgressFn = Callable[[SweepEvent], None]
+
+
+def _emit(progress: Optional[ProgressFn], event: SweepEvent) -> None:
+    if progress is not None:
+        progress(event)
+
+
+# -- execution ----------------------------------------------------------------
+
+
+def _run_cell(spec: RunSpec) -> Tuple[bool, Optional[SimResult], Optional[str]]:
+    """Execute one spec; never raises.
+
+    Runs without touching the cache: the driver pre-filters hits and
+    persists successes, so workers stay pure compute.
+    """
+    try:
+        return True, spec.build().run(max_accesses=spec.max_accesses), None
+    except BaseException:
+        return False, None, traceback.format_exc()
+
+
+def _execute_batch(
+    specs: Sequence[RunSpec], jobs: int
+) -> List[Tuple[RunSpec, Tuple[bool, Optional[SimResult], Optional[str]]]]:
+    """Run ``specs`` once each; one (spec, (ok, result, error)) per spec."""
+    if jobs <= 1 or len(specs) <= 1:
+        return [(spec, _run_cell(spec)) for spec in specs]
+    out = []
+    returned = set()
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+            futures = {pool.submit(_run_cell, spec): spec for spec in specs}
+            for future in as_completed(futures):
+                spec = futures[future]
+                try:
+                    out.append((spec, future.result()))
+                except BrokenProcessPool:
+                    raise
+                except Exception as exc:  # e.g. result unpickling failure
+                    out.append((spec, (False, None, repr(exc))))
+                returned.add(spec)
+    except BrokenProcessPool:
+        # A worker died hard (segfault/OOM-kill): every cell still in
+        # flight counts this as a failed attempt; the caller may retry.
+        for spec in specs:
+            if spec not in returned:
+                out.append((spec, (
+                    False, None,
+                    "worker process died (BrokenProcessPool); "
+                    "cell will be retried if attempts remain",
+                )))
+    return out
+
+
+def run_sweep(
+    specs: Iterable[RunSpec],
+    jobs: Optional[int] = None,
+    cache=result_cache.DEFAULT,
+    progress: Optional[ProgressFn] = None,
+    retries: int = 1,
+) -> Dict[RunSpec, CellOutcome]:
+    """Execute every distinct spec; returns ``{spec: CellOutcome}``.
+
+    Results for duplicate specs are shared; input order is preserved in
+    the returned mapping.  Failed cells never abort the sweep -- check
+    ``outcome.ok`` (or use :func:`raise_failures`).
+    """
+    ordered = list(dict.fromkeys(specs))
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    cache = result_cache.resolve_cache(cache)
+    total = len(ordered)
+    completed = 0
+    outcomes: Dict[RunSpec, CellOutcome] = {}
+
+    pending: List[RunSpec] = []
+    for spec in ordered:
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            completed += 1
+            outcomes[spec] = CellOutcome(spec, result=hit, from_cache=True)
+            _emit(progress, SweepEvent("cached", spec, completed, total))
+        else:
+            pending.append(spec)
+
+    attempts: Dict[RunSpec, int] = {spec: 0 for spec in pending}
+    while pending:
+        batch, pending = pending, []
+        for spec, (ok, result, error) in _execute_batch(batch, jobs):
+            attempts[spec] += 1
+            if ok:
+                completed += 1
+                outcomes[spec] = CellOutcome(
+                    spec, result=result, attempts=attempts[spec]
+                )
+                if cache is not None:
+                    cache.put(spec, result)
+                _emit(progress, SweepEvent("done", spec, completed, total))
+            elif attempts[spec] <= retries:
+                pending.append(spec)
+                _emit(progress, SweepEvent(
+                    "retry", spec, completed, total, error=error
+                ))
+            else:
+                completed += 1
+                outcomes[spec] = CellOutcome(
+                    spec, error=error, attempts=attempts[spec]
+                )
+                _emit(progress, SweepEvent(
+                    "failed", spec, completed, total, error=error
+                ))
+
+    return {spec: outcomes[spec] for spec in ordered}
+
+
+class SweepError(RuntimeError):
+    """Raised by :func:`raise_failures` when any sweep cell failed."""
+
+    def __init__(self, failures: Sequence[CellOutcome]):
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} sweep cell(s) failed:"]
+        for outcome in self.failures:
+            last = (outcome.error or "").strip().splitlines()
+            lines.append(
+                f"  - {outcome.spec.label()} "
+                f"(attempts={outcome.attempts}): {last[-1] if last else '?'}"
+            )
+        super().__init__("\n".join(lines))
+
+
+def raise_failures(outcomes: Dict[RunSpec, CellOutcome]) -> None:
+    """Raise :class:`SweepError` if any outcome failed; else no-op."""
+    failures = [o for o in outcomes.values() if not o.ok]
+    if failures:
+        raise SweepError(failures)

@@ -57,6 +57,26 @@ def make_context(fast_mb=16, cap_mb=96, with_sampler=False,
     )
 
 
+@pytest.fixture(autouse=True)
+def _result_cache_in_tmpdir(request, tmp_path, monkeypatch):
+    """Point the persistent result cache at a per-test tmpdir.
+
+    Tests must never read or write a user's ``~/.cache/repro-memtis``;
+    mark a test ``@pytest.mark.no_result_cache`` to disable the default
+    cache entirely instead.
+    """
+    from repro.sim import cache as result_cache
+
+    cache_dir = tmp_path / "result-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    result_cache.configure(
+        cache_dir=cache_dir,
+        enabled=request.node.get_closest_marker("no_result_cache") is None,
+    )
+    yield
+    result_cache.reset()
+
+
 @pytest.fixture
 def ctx():
     return make_context()
