@@ -7,6 +7,8 @@ from repro.experiments.common import load_experiment
 
 from conftest import run_once
 
+pytestmark = pytest.mark.bench
+
 
 class TestTables:
     def test_table1_comparison(self, benchmark):

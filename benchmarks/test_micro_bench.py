@@ -24,7 +24,13 @@ import os
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from conftest import run_once  # noqa: E402
 
+from repro import kernels  # noqa: E402
+
 MB = 1024 * 1024
+
+pytestmark = pytest.mark.bench
+
+KERNEL_MODES = [kernels.SCALAR, kernels.VECTORIZED]
 
 
 class TestHistogramOps:
@@ -90,6 +96,86 @@ class TestKsampledHotPath:
         assert ks.total_samples == 10_000
 
 
+def _make_ksampled_fixture(region_mb=32):
+    """A fresh context + KSampled + mapped region (kernel benches)."""
+    from repro.mem.address_space import AddressSpace
+    from repro.mem.migration import MigrationEngine
+    from repro.mem.tiers import TieredMemory, dram_spec, nvm_spec
+    from repro.policies.base import PolicyContext
+
+    tiers = TieredMemory.build(dram_spec(64 * MB), nvm_spec(96 * MB))
+    space = AddressSpace(tiers)
+    ctx = PolicyContext(
+        space=space, tiers=tiers,
+        migrator=MigrationEngine(space), tlb=TLB(),
+        machine=MachineSpec(fast_bytes=64 * MB, capacity_bytes=96 * MB),
+        rng=np.random.default_rng(0),
+    )
+    config = MemtisConfig().resolved(64 * MB, 160 * MB)
+    ks = KSampled(config, ctx)
+    region = space.alloc_region(region_mb * MB)
+    ks.on_region_alloc(region)
+    return ctx, ks, region
+
+
+class TestKernelComparison:
+    """Scalar reference vs vectorized kernel on identical work items.
+
+    Run ``pytest benchmarks/test_micro_bench.py -k KernelComparison``
+    and compare the ``[scalar]`` vs ``[vectorized]`` rows per kernel.
+    """
+
+    @pytest.mark.parametrize("mode", KERNEL_MODES)
+    def test_sample_fold_100k(self, benchmark, mode):
+        with kernels.forced(mode):
+            ctx, ks, region = _make_ksampled_fixture()
+            vpns = np.random.default_rng(1).integers(
+                region.base_vpn, region.end_vpn, 100_000
+            )
+            samples = SampleBatch(vpns, np.zeros(len(vpns), dtype=bool))
+            run_once(benchmark, ks.process_samples, samples)
+        assert ks.total_samples == 100_000
+
+    @pytest.mark.parametrize("mode", KERNEL_MODES)
+    def test_tlb_substream_64k(self, benchmark, mode):
+        with kernels.forced(mode):
+            tlb = TLB(TLBConfig(sample_stride=1))
+            rng = np.random.default_rng(0)
+            vpns = rng.integers(0, 50_000, 65_536)
+            is_huge = rng.random(len(vpns)) < 0.3
+            run_once(benchmark, tlb.access_substream, vpns, is_huge)
+        assert tlb.stats.lookups == 65_536
+
+    @pytest.mark.parametrize("batched", [False, True],
+                             ids=["sequential", "batched"])
+    def test_demand_map_4k_pages(self, benchmark, batched):
+        """Batch demand-map API vs the per-page loop it replaced."""
+        from repro.mem.pages import SUBPAGES_PER_HUGE
+        from repro.mem.tiers import TierKind
+
+        ctx, ks, region = _make_ksampled_fixture()
+        space = ctx.space
+        rng = np.random.default_rng(2)
+        holes = []
+        for hpn in space.mapped_huge_hpns():
+            kept = rng.random(SUBPAGES_PER_HUGE) < 0.5
+            tier = space.tier_of_vpn(hpn << 9)
+            space.split_huge(hpn, [tier if k else None for k in kept])
+            holes.append((hpn << 9) + np.flatnonzero(~kept))
+        vpns = np.concatenate(holes)
+        assert len(vpns) > 4_000
+
+        def sequential():
+            for vpn in vpns:
+                space.demand_map(int(vpn), TierKind.FAST)
+
+        def batch():
+            space.demand_map_many(vpns, TierKind.FAST)
+
+        run_once(benchmark, batch if batched else sequential)
+        assert bool(np.all(space.page_tier[vpns] >= 0))
+
+
 class TestEndToEndThroughput:
     def test_engine_1m_accesses(self, benchmark):
         """Raw simulator throughput: accesses simulated per second."""
@@ -103,3 +189,23 @@ class TestEndToEndThroughput:
 
         result = run_once(benchmark, run)
         assert result.metrics.total_accesses >= 1_000_000
+        # The engine attributes wall time to phases; the breakdown must
+        # be populated so regressions can be localised per kernel.
+        assert set(result.phase_ns) == {"sample_ns", "tlb_ns", "policy_ns"}
+        assert sum(result.phase_ns.values()) > 0
+
+    @pytest.mark.parametrize("mode", KERNEL_MODES)
+    def test_memtis_400k_accesses(self, benchmark, mode):
+        """End-to-end memtis run under each kernel mode (speedup ratio)."""
+        from repro.sim.runner import RunSpec
+        from conftest import BENCH_SCALE
+
+        def run():
+            with kernels.forced(mode):
+                spec = RunSpec("silo", "memtis", ratio="1:8",
+                               scale=BENCH_SCALE, seed=7,
+                               max_accesses=400_000)
+                return spec.build().run(max_accesses=spec.max_accesses)
+
+        result = run_once(benchmark, run)
+        assert result.metrics.total_accesses >= 400_000

@@ -12,6 +12,8 @@ from repro.sim.cache import ResultCache
 
 from conftest import BENCH_SCALE, run_once
 
+pytestmark = pytest.mark.bench
+
 #: 2 workloads x 2 policies x 1 ratio + 2 shared baselines = 6 simulations.
 GRID = dict(workloads=["silo", "btree"], policies=["tpp", "memtis"],
             ratios=["1:8"], scale=BENCH_SCALE)

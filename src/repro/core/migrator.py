@@ -88,6 +88,11 @@ class KMigrated:
         tiers = self.ctx.tiers
         headroom = int(tiers.fast.capacity_bytes * self.config.free_space_fraction)
         reps = np.fromiter(queue, dtype=np.int64)
+        # Sort ascending first: set iteration order depends on insertion
+        # history, which differs between the scalar and vectorized
+        # sample-folding kernels; a deterministic tie-break keeps both
+        # paths bit-identical.
+        reps.sort()
         # Hottest first: promote the most valuable pages into what fits.
         order = np.argsort(-self.ksampled.main_bin[reps], kind="stable")
         migrator = self.ctx.migrator
@@ -173,16 +178,20 @@ class KMigrated:
         else:
             candidates = reps[bins < t.hot]
 
+        if len(candidates) == 0:
+            return
         space = self.ctx.space
-        migrator = self.ctx.migrator
-        for rep in candidates.tolist():
-            if need <= 0:
-                break
-            if space.page_tier[rep] != int(TierKind.FAST):
-                continue
-            nbytes = HUGE_PAGE_SIZE if space.page_huge[rep] else BASE_PAGE_SIZE
-            migrator.migrate_page(rep, TierKind.CAPACITY, critical=False)
-            need -= nbytes
+        # Candidates are unique fast-tier reps; the sequential loop took
+        # victims in order until `need` was covered, i.e. the shortest
+        # prefix whose cumulative size reaches `need` (or everything).
+        nbytes = np.where(
+            space.page_huge[candidates], HUGE_PAGE_SIZE, BASE_PAGE_SIZE
+        )
+        cum = np.cumsum(nbytes)
+        k = min(int(np.searchsorted(cum, need, side="left")) + 1, len(candidates))
+        self.ctx.migrator.migrate_many(
+            candidates[:k], TierKind.CAPACITY, critical=False
+        )
 
     # -- huge page split (§4.3) ---------------------------------------------------------------
 

@@ -25,8 +25,16 @@ from typing import Dict, Optional, Set
 
 import numpy as np
 
+from repro import kernels
 from repro.core.config import MemtisConfig
 from repro.core.histogram import AccessHistogram, bin_of, bin_of_array
+from repro.kernels.sample_fold import (
+    FoldParams,
+    FoldState,
+    fold_samples_scalar,
+    fold_samples_validate,
+    fold_samples_vectorized,
+)
 from repro.core.thresholds import (
     INITIAL_THRESHOLDS,
     Thresholds,
@@ -166,10 +174,11 @@ class KSampled:
         self.main_weight[sl] = 0
         self.base_bin[sl] = -1
         self.meta.reset_range(base_vpn, num_vpns)
-        self.promotion_queue.difference_update(
-            v for v in list(self.promotion_queue)
-            if base_vpn <= v < base_vpn + num_vpns
-        )
+        # The promotion queue is deliberately NOT scanned here: a full
+        # O(|queue|) rescan per region free dominated short-lived
+        # allocation churn.  Stale entries are pruned lazily at drain
+        # time instead -- `KMigrated._promote` re-checks every entry
+        # against `page_tier`/`main_bin` and discards the dead ones.
 
     def on_demand_map(self, vpns: np.ndarray) -> None:
         """Seed base pages demand-mapped after a split freed them."""
@@ -188,80 +197,52 @@ class KSampled:
     # -- the per-sample hot path ----------------------------------------------------
 
     def process_samples(self, samples: SampleBatch) -> None:
-        """Fold one batch of PEBS records into all statistics."""
+        """Fold one batch of PEBS records into all statistics.
+
+        Dispatches to the :mod:`repro.kernels.sample_fold` kernels:
+        the vectorized fold by default, the original per-sample loop
+        under ``REPRO_SCALAR_KERNELS=1``, or both with a state-equality
+        assertion in ``validate`` mode.  All paths produce bit-identical
+        counters, histograms and promotion-queue membership.
+        """
         space = self.ctx.space
-        page_tier = space.page_tier
-        page_huge = space.page_huge
-        sub_count = self.meta.sub_count
-        huge_count = self.meta.huge_count
-        fast = int(TierKind.FAST)
-        cap = int(TierKind.CAPACITY)
-        t_hot = self.thresholds.hot
-        base_cut = self.base_cut_hotness
-        # (base_cut_fraction/_tie_credit handle ties at the cut)
+        params = FoldParams(
+            page_tier=space.page_tier,
+            page_huge=space.page_huge,
+            fast=int(TierKind.FAST),
+            cap=int(TierKind.CAPACITY),
+            t_hot=self.thresholds.hot,
+            comp=self.comp,
+            base_cut=self.base_cut_hotness,
+            base_cut_fraction=self.base_cut_fraction,
+            tie_credit=self._tie_credit,
+        )
+        state = FoldState(
+            sub_count=self.meta.sub_count,
+            huge_count=self.meta.huge_count,
+            main_bin=self.main_bin,
+            main_weight=self.main_weight,
+            base_bin=self.base_bin,
+            hist=self.hist,
+            base_hist=self.base_hist,
+        )
+        mode = kernels.active_mode()
+        if mode == kernels.SCALAR:
+            res = fold_samples_scalar(state, samples.vpn, params)
+        elif mode == kernels.VALIDATE:
+            res = fold_samples_validate(state, samples.vpn, params)
+        else:
+            res = fold_samples_vectorized(state, samples.vpn, params)
 
-        for vpn in samples.vpn.tolist():
-            if page_tier[vpn] < 0:
-                continue  # freed between access and drain
-            self.total_samples += 1
-            self._since_adaptation += 1
-            self._since_cooling += 1
-            self._since_estimation += 1
-            self._window_samples += 1
-
-            sub_count[vpn] += 1
-            if page_huge[vpn]:
-                hpn = vpn >> 9
-                huge_count[hpn] += 1
-                rep = hpn << 9
-                hotness = int(huge_count[hpn])
-                weight = SUBPAGES_PER_HUGE
-            else:
-                rep = vpn
-                hotness = int(sub_count[vpn]) * self.comp
-                weight = 1
-
-            # Page access histogram update (possibly crossing a bin).
-            new_bin = bin_of(hotness)
-            old_bin = int(self.main_bin[rep])
-            if old_bin < 0:
-                self.hist.add(new_bin, weight)
-                self.main_weight[rep] = weight
-                self.main_bin[rep] = new_bin
-            elif new_bin != old_bin:
-                self.hist.move(old_bin, new_bin, weight)
-                self.main_bin[rep] = new_bin
-
-            # Emulated base page histogram (4 KiB granularity).
-            base_hotness = int(sub_count[vpn]) * self.comp
-            new_base_bin = bin_of(base_hotness)
-            old_base_bin = int(self.base_bin[vpn])
-            if old_base_bin < 0:
-                self.base_hist.add(new_base_bin, 1)
-                self.base_bin[vpn] = new_base_bin
-            elif new_base_bin != old_base_bin:
-                self.base_hist.move(old_base_bin, new_base_bin, 1)
-                self.base_bin[vpn] = new_base_bin
-
-            # rHR: did this access land in the fast tier?
-            if page_tier[vpn] == fast:
-                self._rhr_hits += 1
-            # eHR: would it hit if only the hottest base pages were
-            # fast?  Judged on the page's hotness *before* this sample
-            # (the placement could not have known about it yet); ties at
-            # the cut earn fractional credit for the slots they share.
-            pre_hotness = base_hotness - self.comp
-            if pre_hotness > base_cut:
-                self._ehr_hits += 1
-            elif pre_hotness == base_cut:
-                self._tie_credit += self.base_cut_fraction
-                if self._tie_credit >= 1.0:
-                    self._tie_credit -= 1.0
-                    self._ehr_hits += 1
-
-            # Hot page on the capacity tier: promotion candidate (§4.2.3).
-            if new_bin >= t_hot and page_tier[vpn] == cap:
-                self.promotion_queue.add(int(rep))
+        self.total_samples += res.processed
+        self._since_adaptation += res.processed
+        self._since_cooling += res.processed
+        self._since_estimation += res.processed
+        self._window_samples += res.processed
+        self._rhr_hits += res.rhr_hits
+        self._ehr_hits += res.ehr_hits
+        self._tie_credit = res.tie_credit
+        self.promotion_queue.update(res.promoted)
 
     # -- periodic duties ------------------------------------------------------------
 

@@ -278,6 +278,46 @@ class AddressSpace:
         self._map_base(vpn, tier)
         return tier
 
+    def demand_map_many(self, vpns: np.ndarray, preferred: TierKind) -> None:
+        """Demand-map a batch of unmapped base pages (vectorized).
+
+        Equivalent to calling :meth:`demand_map` per vpn in order: the
+        first ``preferred.free_bytes // 4096`` pages land on the
+        preferred tier, the remainder fall back to the other tier, and
+        the allocation raises :class:`OutOfMemoryError` when both are
+        full.  Tier accounting and the numpy mirrors update in bulk; the
+        radix page table still maps per page (it is not the hot cost).
+        """
+        vpns = np.asarray(vpns, dtype=np.int64)
+        if len(vpns) == 0:
+            return
+        if np.any(self.page_tier[vpns] != TIER_UNMAPPED):
+            bad = int(vpns[self.page_tier[vpns] != TIER_UNMAPPED][0])
+            raise ValueError(f"vpn {bad} already mapped")
+        n_pref = min(
+            len(vpns),
+            self.tiers.tier(preferred).free_bytes // BASE_PAGE_SIZE,
+        )
+        chunks = [(preferred, vpns[:n_pref])]
+        rest = vpns[n_pref:]
+        if len(rest):
+            fallback = preferred.other
+            if self.tiers.tier(fallback).free_bytes // BASE_PAGE_SIZE < len(rest):
+                raise OutOfMemoryError(
+                    f"no tier can hold {len(rest) * BASE_PAGE_SIZE} bytes "
+                    f"(fast free={self.tiers.fast.free_bytes}, "
+                    f"capacity free={self.tiers.capacity.free_bytes})"
+                )
+            chunks.append((fallback, rest))
+        for tier, chunk in chunks:
+            if not len(chunk):
+                continue
+            self.tiers.tier(tier).alloc(len(chunk) * BASE_PAGE_SIZE)
+            for vpn in chunk.tolist():
+                self.page_table.map_base(int(vpn), tier)
+            self.page_tier[chunk] = int(tier)
+            self.page_huge[chunk] = False
+
     # -- mapping mutations used by the migration engine ------------------------
 
     def retarget(self, base_vpn: int, is_huge: bool, dst: TierKind) -> int:
@@ -298,6 +338,36 @@ class AddressSpace:
         span = SUBPAGES_PER_HUGE if is_huge else 1
         self.page_tier[base_vpn : base_vpn + span] = int(dst)
         return nbytes
+
+    def retarget_many(
+        self, base_vpns: np.ndarray, is_huge: bool, dst: TierKind
+    ) -> int:
+        """Move many same-shape mappings to ``dst``; returns pages moved.
+
+        Every vpn must currently be mapped with shape ``is_huge`` on
+        ``dst.other`` (the caller filters same-tier no-ops).  Tier
+        accounting moves in one transfer, so a batch that does not fit
+        ``dst`` raises :class:`OutOfMemoryError` before any page moves
+        (the sequential path would fail midway; neither completes).
+        """
+        base_vpns = np.asarray(base_vpns, dtype=np.int64)
+        n = len(base_vpns)
+        if n == 0:
+            return 0
+        nbytes = HUGE_PAGE_SIZE if is_huge else BASE_PAGE_SIZE
+        src = dst.other
+        self.tiers.tier(dst).alloc(n * nbytes)
+        self.tiers.tier(src).free(n * nbytes)
+        for vpn in base_vpns.tolist():
+            self.page_table.set_tier(int(vpn), dst)
+        if is_huge:
+            span = (
+                base_vpns[:, None] + np.arange(SUBPAGES_PER_HUGE)[None, :]
+            ).reshape(-1)
+            self.page_tier[span] = int(dst)
+        else:
+            self.page_tier[base_vpns] = int(dst)
+        return n
 
     def split_huge(self, hpn: int, subpage_tiers) -> dict:
         """Split huge page ``hpn`` into base pages at per-subpage tiers.

@@ -16,15 +16,24 @@ The TLB is simulated exactly, but (for speed) the engine feeds it a
 strided substream of the access trace and scales the resulting miss
 counts back up; the stride is part of :class:`TLBConfig` so experiments
 can trade accuracy for time.
+
+Two implementations exist behind :mod:`repro.kernels` dispatch: the
+default array-backed kernel (:mod:`repro.kernels.tlb_lru`) simulates
+whole substreams with batched numpy LRU transitions, while the scalar
+per-lookup list implementation is kept as the reference path
+(``REPRO_SCALAR_KERNELS=1``; ``validate`` runs both and asserts
+identical hits, misses and array state).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
+from repro import kernels
+from repro.kernels.tlb_lru import lru_batch, lru_flush, lru_invalidate
 from repro.mem.page_table import WALK_LEVELS_BASE, WALK_LEVELS_HUGE
 from repro.mem.pages import vpn_to_hpn
 
@@ -83,7 +92,7 @@ class TLBStats:
 
 
 class _SetAssocArray:
-    """One set-associative LRU array keyed by page tag."""
+    """Scalar reference: one set-associative LRU array of per-set lists."""
 
     __slots__ = ("num_sets", "ways", "sets")
 
@@ -106,6 +115,14 @@ class _SetAssocArray:
         entry_set.insert(0, tag)
         return True
 
+    def access_batch(self, tag_stream: np.ndarray) -> Tuple[int, int]:
+        """Per-lookup loop over a stream; returns (hits, misses)."""
+        hits = 0
+        for tag in np.asarray(tag_stream).tolist():
+            if self.access(tag):
+                hits += 1
+        return hits, len(tag_stream) - hits
+
     def invalidate(self, tag: int) -> bool:
         entry_set = self.sets[tag % self.num_sets]
         try:
@@ -120,6 +137,84 @@ class _SetAssocArray:
             s.clear()
         return count
 
+    def state_rows(self) -> List[List[int]]:
+        """Per-set MRU-first tag lists (for cross-implementation checks)."""
+        return [list(s) for s in self.sets]
+
+
+class _ArraySetAssoc:
+    """Vectorized array: an (num_sets, ways) MRU-first tag matrix."""
+
+    __slots__ = ("num_sets", "ways", "tags")
+
+    def __init__(self, entries: int, ways: int):
+        self.num_sets = entries // ways
+        self.ways = ways
+        self.tags = np.full((self.num_sets, ways), -1, dtype=np.int64)
+
+    def access_batch(self, tag_stream: np.ndarray) -> Tuple[int, int]:
+        return lru_batch(self.tags, tag_stream)
+
+    def invalidate(self, tag: int) -> bool:
+        return lru_invalidate(self.tags, tag)
+
+    def flush(self) -> int:
+        return lru_flush(self.tags)
+
+    def state_rows(self) -> List[List[int]]:
+        return [[int(t) for t in row if t != -1] for row in self.tags]
+
+
+class _ValidatingSetAssoc:
+    """Runs scalar and array implementations side by side, asserting."""
+
+    __slots__ = ("scalar", "array")
+
+    def __init__(self, entries: int, ways: int):
+        self.scalar = _SetAssocArray(entries, ways)
+        self.array = _ArraySetAssoc(entries, ways)
+
+    def _check_state(self, op: str) -> None:
+        if self.scalar.state_rows() != self.array.state_rows():
+            raise AssertionError(f"TLB kernel state mismatch after {op}")
+
+    def access_batch(self, tag_stream: np.ndarray) -> Tuple[int, int]:
+        ref = self.scalar.access_batch(tag_stream)
+        got = self.array.access_batch(tag_stream)
+        if ref != got:
+            raise AssertionError(
+                f"TLB kernel mismatch: array {got} != scalar {ref}"
+            )
+        self._check_state("access_batch")
+        return got
+
+    def invalidate(self, tag: int) -> bool:
+        ref = self.scalar.invalidate(tag)
+        got = self.array.invalidate(tag)
+        if ref != got:
+            raise AssertionError("TLB kernel invalidate mismatch")
+        self._check_state("invalidate")
+        return got
+
+    def flush(self) -> int:
+        ref = self.scalar.flush()
+        got = self.array.flush()
+        if ref != got:
+            raise AssertionError("TLB kernel flush mismatch")
+        return got
+
+    def state_rows(self) -> List[List[int]]:
+        self._check_state("state_rows")
+        return self.array.state_rows()
+
+
+def _make_array(entries: int, ways: int, mode: str):
+    if mode == kernels.SCALAR:
+        return _SetAssocArray(entries, ways)
+    if mode == kernels.VALIDATE:
+        return _ValidatingSetAssoc(entries, ways)
+    return _ArraySetAssoc(entries, ways)
+
 
 class TLB:
     """Split 4K/2M TLB driven by the engine's strided substream."""
@@ -127,8 +222,9 @@ class TLB:
     def __init__(self, config: TLBConfig = TLBConfig()):
         self.config = config
         self.stats = TLBStats()
-        self._tlb_4k = _SetAssocArray(config.entries_4k, config.ways)
-        self._tlb_2m = _SetAssocArray(config.entries_2m, config.ways)
+        mode = kernels.active_mode()
+        self._tlb_4k = _make_array(config.entries_4k, config.ways, mode)
+        self._tlb_2m = _make_array(config.entries_2m, config.ways, mode)
 
     def access_substream(self, vpns: np.ndarray, is_huge: np.ndarray) -> int:
         """Run the (already strided) substream through the TLB.
@@ -136,26 +232,29 @@ class TLB:
         ``is_huge[i]`` says whether vpn ``i`` is currently covered by a
         2 MiB mapping.  Returns the total page-walk levels incurred by
         this substream (un-scaled; the caller applies the stride factor).
+
+        The 4K and 2M arrays are independent, so the substream splits by
+        mapping size and each half runs through its array's batch kernel;
+        totals are order-independent even though the kernels reorder work
+        internally.
         """
-        walk_levels = 0
-        tlb_4k = self._tlb_4k
-        tlb_2m = self._tlb_2m
         stats = self.stats
-        hpns = vpn_to_hpn(vpns)
-        for vpn, hpn, huge in zip(vpns.tolist(), hpns.tolist(), is_huge.tolist()):
-            stats.lookups += 1
-            if huge:
-                if tlb_2m.access(hpn):
-                    stats.hits_2m += 1
-                else:
-                    stats.misses_2m += 1
-                    walk_levels += WALK_LEVELS_HUGE
-            else:
-                if tlb_4k.access(vpn):
-                    stats.hits_4k += 1
-                else:
-                    stats.misses_4k += 1
-                    walk_levels += WALK_LEVELS_BASE
+        n = len(vpns)
+        stats.lookups += n
+        if n == 0:
+            return 0
+        huge_mask = np.asarray(is_huge, dtype=bool)
+        hits_4k, misses_4k = self._tlb_4k.access_batch(vpns[~huge_mask])
+        hits_2m, misses_2m = self._tlb_2m.access_batch(
+            vpn_to_hpn(vpns[huge_mask])
+        )
+        stats.hits_4k += hits_4k
+        stats.misses_4k += misses_4k
+        stats.hits_2m += hits_2m
+        stats.misses_2m += misses_2m
+        walk_levels = (
+            misses_4k * WALK_LEVELS_BASE + misses_2m * WALK_LEVELS_HUGE
+        )
         stats.walk_levels += walk_levels
         return walk_levels
 
@@ -169,6 +268,15 @@ class TLB:
         self.stats.shootdowns += 1
         if self._tlb_4k.invalidate(vpn):
             self.stats.invalidated_entries += 1
+
+    def shootdown_base_many(self, vpns: np.ndarray) -> None:
+        """Batch base-page shootdown (one IPI accounted per page)."""
+        for vpn in np.asarray(vpns).tolist():
+            self.shootdown_base(int(vpn))
+
+    def shootdown_huge_many(self, hpns: np.ndarray) -> None:
+        for hpn in np.asarray(hpns).tolist():
+            self.shootdown_huge(int(hpn))
 
     def flush(self) -> None:
         self.stats.shootdowns += 1

@@ -68,6 +68,8 @@ class AccessBatch:
         batches = list(batches)
         if not batches:
             return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=bool))
+        if len(batches) == 1:
+            return batches[0]
         return cls(
             np.concatenate([b.vpn for b in batches]),
             np.concatenate([b.is_store for b in batches]),

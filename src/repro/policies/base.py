@@ -76,14 +76,29 @@ class PolicyContext:
 
 @dataclass
 class BatchObservation:
-    """Per-batch information the engine hands to a policy."""
+    """Per-batch information the engine hands to a policy.
+
+    ``unique_vpns``/``counts`` are computed lazily via :meth:`unique`:
+    sample-based policies never look at them, so the engine no longer
+    pays an unconditional ``np.unique`` per batch.  Constructing with
+    explicit arrays (as some tests do) still works and skips the
+    deferred computation.
+    """
 
     batch: AccessBatch
-    unique_vpns: np.ndarray
-    counts: np.ndarray
-    samples: Optional[SampleBatch]
-    now_ns: float
-    batch_wall_ns: float
+    samples: Optional[SampleBatch] = None
+    now_ns: float = 0.0
+    batch_wall_ns: float = 0.0
+    unique_vpns: Optional[np.ndarray] = None
+    counts: Optional[np.ndarray] = None
+
+    def unique(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Unique accessed vpns and their access counts (cached)."""
+        if self.unique_vpns is None:
+            self.unique_vpns, self.counts = np.unique(
+                self.batch.vpn, return_counts=True
+            )
+        return self.unique_vpns, self.counts
 
 
 class TieringPolicy(abc.ABC):

@@ -60,24 +60,35 @@ class BoundCostModel:
         self.store_table = tiers.store_latency_table() / model.mlp_factor
 
     def memory_ns(self, tier_per_access: np.ndarray, is_store: np.ndarray) -> float:
-        """Vectorised stall time of one batch given per-access tiers.
+        """Stall time of one batch given per-access tiers.
+
+        Every access falls in one of four (tier, kind) categories, so the
+        batch total is four counts times four baked latencies -- no
+        per-access gather/where/sum temporaries.
 
         With the opt-in bandwidth model, the capacity-tier component is
         inflated by ``1/(1-rho)`` where rho is the tier's bandwidth
         utilisation estimated from this batch's demand -- the Optane
         saturation effect that widens tiering gaps on real hardware.
         """
-        load_ns = self.load_table[tier_per_access]
-        store_ns = self.store_table[tier_per_access]
-        per_access = np.where(is_store, store_ns, load_ns)
-        total = float(per_access.sum())
-        if not self.model.bandwidth_model:
-            return total
+        n = len(tier_per_access)
         cap_mask = tier_per_access == 1
         n_cap = int(np.count_nonzero(cap_mask))
+        n_store = int(np.count_nonzero(is_store))
+        n_store_cap = int(np.count_nonzero(is_store & cap_mask))
+        n_store_fast = n_store - n_store_cap
+        n_load_cap = n_cap - n_store_cap
+        n_load_fast = (n - n_store) - n_load_cap
+        lt, st = self.load_table, self.store_table
+        cap_component = n_load_cap * float(lt[1]) + n_store_cap * float(st[1])
+        total = (
+            n_load_fast * float(lt[0]) + n_store_fast * float(st[0])
+            + cap_component
+        )
+        if not self.model.bandwidth_model:
+            return total
         if n_cap == 0 or total <= 0:
             return total
-        cap_component = float(per_access[cap_mask].sum())
         demand_gbps = n_cap * self.model.access_bytes / total  # bytes/ns == GB/s
         rho = min(
             self.model.max_utilization,

@@ -55,6 +55,13 @@ class SimResult:
     policy_stats: Dict[str, float]
     sampler_stats: Dict[str, float]
     wall_seconds: float
+    #: Wall-time breakdown of the run's hot phases (see `Simulation`):
+    #: ``sample_ns`` (PEBS extraction), ``tlb_ns`` (TLB simulation),
+    #: ``policy_ns`` (policy observation + background daemons).
+    phase_ns: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: True when this result was served from the persistent result
+    #: cache; ``wall_seconds`` is 0.0 then (nothing was simulated).
+    from_cache: bool = False
 
     @property
     def runtime_ns(self) -> float:
@@ -128,6 +135,8 @@ class SimResult:
             "policy_stats": self.policy_stats,
             "sampler_stats": self.sampler_stats,
             "wall_seconds": self.wall_seconds,
+            "phase_ns": self.phase_ns,
+            "from_cache": self.from_cache,
         })
 
 
@@ -182,6 +191,8 @@ class Simulation:
         #: page table every N batches (0 disables; expensive).
         self.validate_every = validate_every
         self._batches_processed = 0
+        #: Wall-time (ns) spent in each hot phase, for BENCH breakdowns.
+        self._phase_ns = {"sample_ns": 0.0, "tlb_ns": 0.0, "policy_ns": 0.0}
 
         self.tiers: TieredMemory = machine.build_tiers()
         self.space = AddressSpace(self.tiers)
@@ -267,8 +278,7 @@ class Simulation:
         if np.any(tier_per_access < 0):
             missing = np.unique(batch.vpn[tier_per_access < 0])
             preferred = self.policy.choose_alloc_tier(len(missing) * 4096)
-            for vpn in missing.tolist():
-                space.demand_map(int(vpn), preferred)
+            space.demand_map_many(missing, preferred)
             self.policy.on_demand_map(missing)
             demand_fault_ns = self.bound_cost.fault_ns(len(missing))
             tier_per_access = space.page_tier[batch.vpn]
@@ -279,7 +289,9 @@ class Simulation:
         # Translation cost: exact TLB on the strided substream.
         stride = self.tlb.config.sample_stride
         sub = batch.vpn[::stride]
+        t0 = time.perf_counter_ns()
         walk_levels = self.tlb.access_substream(sub, space.page_huge[sub])
+        self._phase_ns["tlb_ns"] += time.perf_counter_ns() - t0
         walk_ns = self.bound_cost.walk_ns(walk_levels, stride)
 
         # Hint faults on protected pages: entry cost + handler migrations.
@@ -301,19 +313,22 @@ class Simulation:
                 fault_ns += self.bound_cost.fault_ns(num_faults)
                 critical_ns += self.policy.on_hint_faults(faulted)
 
-        # Policy observation.
-        unique_vpns, counts = np.unique(batch.vpn, return_counts=True)
+        # Policy observation.  Unique-vpn aggregation is lazy: policies
+        # that need it call ``obs.unique()``; computing it eagerly for
+        # every batch was pure fixed cost for sample-based policies.
+        t0 = time.perf_counter_ns()
         samples = self.sampler.sample(batch) if self.sampler is not None else None
+        self._phase_ns["sample_ns"] += time.perf_counter_ns() - t0
         batch_wall_ns = mem_ns + compute_ns + walk_ns + fault_ns + critical_ns
         obs = BatchObservation(
             batch=batch,
-            unique_vpns=unique_vpns,
-            counts=counts,
             samples=samples,
             now_ns=self.now_ns,
             batch_wall_ns=batch_wall_ns,
         )
+        t0 = time.perf_counter_ns()
         critical_ns += self.policy.on_batch(obs)
+        self._phase_ns["policy_ns"] += time.perf_counter_ns() - t0
 
         # Contention from always-on service threads (e.g. HeMem's sampler).
         total_ns = mem_ns + compute_ns + walk_ns + fault_ns + critical_ns
@@ -332,7 +347,9 @@ class Simulation:
         )
         self.now_ns += total_ns + contention_extra
 
+        t0 = time.perf_counter_ns()
         self.policy.on_tick(self.now_ns)
+        self._phase_ns["policy_ns"] += time.perf_counter_ns() - t0
         self._batches_processed += 1
         if self.validate_every and self._batches_processed % self.validate_every == 0:
             space.check_consistency()
@@ -385,4 +402,5 @@ class Simulation:
             policy_stats=self.policy.stats(),
             sampler_stats=sampler_stats,
             wall_seconds=wall_seconds,
+            phase_ns=dict(self._phase_ns),
         )

@@ -46,7 +46,7 @@ from repro.workloads.registry import make_workload
 
 #: Bump when engine/policy changes alter simulation results: old cache
 #: entries become unreachable without deleting the cache directory.
-SPEC_SCHEMA_VERSION = 1
+SPEC_SCHEMA_VERSION = 2
 
 #: Machine variants a spec can request (see :meth:`MachineSpec.all_capacity`).
 MACHINE_VARIANTS = ("tiered", "all-capacity", "all-fast")
@@ -184,6 +184,10 @@ class RunSpec:
         if cache is not None:
             hit = cache.get(self)
             if hit is not None:
+                # A cached result did no simulation work: replaying the
+                # original wall time would pollute benchmark comparisons.
+                hit.wall_seconds = 0.0
+                hit.from_cache = True
                 return hit
         result = self.build().run(max_accesses=self.max_accesses)
         if cache is not None:

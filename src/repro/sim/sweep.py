@@ -175,6 +175,10 @@ def run_sweep(
         hit = cache.get(spec) if cache is not None else None
         if hit is not None:
             completed += 1
+            # Mirror RunSpec.run(): a cached cell did no simulation
+            # work, so it must not replay the original wall time.
+            hit.wall_seconds = 0.0
+            hit.from_cache = True
             outcomes[spec] = CellOutcome(spec, result=hit, from_cache=True)
             _emit(progress, SweepEvent("cached", spec, completed, total))
         else:

@@ -19,11 +19,50 @@ from typing import Iterator, Optional
 import numpy as np
 
 
+def _bounded_lower_bound(
+    cdf: np.ndarray, u: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> np.ndarray:
+    """Vectorised exact lower bound of each ``u`` within ``[lo, hi]``.
+
+    Preconditions (per element): every CDF entry before ``lo`` is < u,
+    and ``cdf[hi-1] >= u`` or ``hi`` is the answer -- i.e. the lower
+    bound lies in ``[lo, hi]``.  Runs a lockstep greedy binary descent:
+    each step takes ``pos += step`` exactly when ``pos + step`` still
+    satisfies ``cdf[pos+step-1] < u``, so ``pos`` accumulates the binary
+    expansion of ``answer - lo``.
+    """
+    pos = lo.copy()
+    span = int((hi - lo).max())
+    step = 1 << (span.bit_length() - 1)
+    last = len(cdf) - 1
+    while step:
+        cand = pos + step
+        # The gather index is clipped for memory safety only: where the
+        # clip bites, ``cand > hi`` already excludes the element.
+        probe = cdf[np.minimum(cand - 1, last)]
+        ok = (cand <= hi) & (probe < u)
+        pos[ok] = cand[ok]
+        step >>= 1
+    return pos
+
+
 class ZipfSampler:
     """Zipf(alpha) sampler over ranks ``0..n-1`` via inverse-CDF lookup.
 
-    Rank 0 is the most popular.  The CDF is precomputed once; sampling
-    is a vectorised ``searchsorted``.
+    Rank 0 is the most popular.  Sampling is a guide-table inversion
+    that is *bit-identical* to ``np.searchsorted(cdf, u, side="left")``
+    (every comparison is against the same float64 CDF entries) while
+    avoiding a full-depth binary search per draw:
+
+    * a uniform grid of ``K`` buckets over [0, 1) is inverted once at
+      construction (``guide[j] = lower_bound(cdf, j/K)``);
+    * a draw whose bucket maps to a single rank (the common case: hot
+      ranks own many buckets) is resolved by one table gather;
+    * the rest descend the narrow ``[guide[j], guide[j+1]]`` range with
+      a lockstep greedy binary search (a handful of gathers, not
+      ``log2(n)`` probes into a multi-MB CDF);
+    * draws hit by float truncation edge cases (``u * K`` rounding
+      across a bucket boundary) fall back to ``np.searchsorted``.
     """
 
     def __init__(self, n: int, alpha: float = 0.99):
@@ -36,11 +75,35 @@ class ZipfSampler:
         weights = 1.0 / np.power(np.arange(1, self.n + 1, dtype=np.float64), alpha)
         self._cdf = np.cumsum(weights)
         self._cdf /= self._cdf[-1]
+        # Guide-table resolution: ~4 buckets per rank, capped so the
+        # table stays ~1 MB even for multi-million-page regions.
+        self._K = 1 << min(17, max(8, self.n.bit_length() + 2))
+        self._grid = np.arange(self._K + 1, dtype=np.float64) / self._K
+        self._guide = np.searchsorted(self._cdf, self._grid, side="left")
 
     def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
         """Draw ``size`` ranks (int64)."""
         u = rng.random(size)
-        return np.searchsorted(self._cdf, u, side="left").astype(np.int64)
+        # u < 1 always, but u*K can round up onto the next bucket (or
+        # even onto K itself for u within half an ulp of 1); the clip
+        # plus the ``stray`` guard below keep every path exact.
+        j = np.minimum((u * self._K).astype(np.int64), self._K - 1)
+        lo = self._guide[j]
+        hi = self._guide[j + 1]
+        res = lo.copy()
+        # ``j / K`` computed arithmetically equals ``self._grid[j]``
+        # bit-for-bit (K is a power of two, so ``j * (1/K)`` is exact);
+        # two multiplies beat two gathers into the multi-KB grid table.
+        inv = 1.0 / self._K
+        stray = (u < j * inv) | (u >= (j + 1) * inv)
+        narrow = (lo != hi) & ~stray
+        if narrow.any():
+            res[narrow] = _bounded_lower_bound(
+                self._cdf, u[narrow], lo[narrow], hi[narrow]
+            )
+        if stray.any():
+            res[stray] = np.searchsorted(self._cdf, u[stray], side="left")
+        return res
 
     def popularity(self, rank: int) -> float:
         """Probability mass of one rank (for analytical checks)."""

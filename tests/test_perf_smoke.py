@@ -1,0 +1,62 @@
+"""Perf smoke: the vectorized fold kernel must actually be fast.
+
+A coarse guard, not a benchmark (those live in ``benchmarks/``): folding
+a fixed 100k-sample stream through the vectorized kernel must beat the
+scalar reference by at least 3x.  The observed ratio is ~two orders of
+magnitude, so 3x only trips on a real regression (e.g. the dispatch
+silently falling back to the scalar path).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.core.config import MemtisConfig
+from repro.core.sampler import KSampled
+from repro.pebs.sampler import SampleBatch
+
+from conftest import make_context
+
+MB = 1024 * 1024
+
+pytestmark = pytest.mark.skipif(
+    kernels.active_mode() != kernels.VECTORIZED,
+    reason="REPRO_SCALAR_KERNELS overrides the vectorized default",
+)
+
+
+def _fold_seconds(mode: str) -> float:
+    """Time one fixed 100k-sample fold on a fresh machine under ``mode``.
+
+    The stream is regenerated from a fixed seed against the fresh
+    region's bounds, so every call folds the identical sample batch.
+    """
+    with kernels.forced(mode):
+        ctx = make_context(fast_mb=16, cap_mb=96)
+        config = MemtisConfig().resolved(16 * MB, 112 * MB)
+        ks = KSampled(config, ctx)
+        region = ctx.space.alloc_region(32 * MB)
+        ks.on_region_alloc(region)
+        rng = np.random.default_rng(0)
+        vpns = rng.integers(region.base_vpn, region.end_vpn, 100_000)
+        samples = SampleBatch(vpns.astype(np.int64),
+                              rng.random(len(vpns)) < 0.3)
+        start = time.perf_counter()
+        ks.process_samples(samples)
+        elapsed = time.perf_counter() - start
+    assert ks.total_samples == len(samples.vpn)
+    return elapsed
+
+
+def test_vectorized_fold_at_least_3x_faster_than_scalar():
+    scalar = _fold_seconds(kernels.SCALAR)
+    vectorized = _fold_seconds(kernels.VECTORIZED)
+    assert vectorized > 0
+    ratio = scalar / vectorized
+    assert ratio >= 3.0, (
+        f"vectorized fold only {ratio:.1f}x faster "
+        f"({scalar:.3f}s vs {vectorized:.3f}s)"
+    )
