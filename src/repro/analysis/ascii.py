@@ -80,6 +80,40 @@ def heatmap(grid: np.ndarray, title: Optional[str] = None, width: int = 72,
     return "\n".join(lines)
 
 
+def event_timeline(
+    events,
+    width: int = 64,
+    height: int = 12,
+    title: Optional[str] = None,
+) -> str:
+    """Per-category event-count timeline for a list of trace events.
+
+    ``events`` are :class:`repro.obs.tracer.TraceEvent` records (or
+    anything with ``ts_ns``/``cat``).  Virtual time is bucketed into
+    ``width`` columns and each category's per-bucket event count becomes
+    one series of :func:`timeline_chart`.
+    """
+    events = list(events)
+    if not events:
+        return (title + "\n" if title else "") + "(no events)"
+    ts = np.array([e.ts_ns for e in events], dtype=np.float64)
+    t0, t1 = float(ts.min()), float(ts.max())
+    span = (t1 - t0) or 1.0
+    buckets = np.minimum(
+        ((ts - t0) / span * (width - 1)).astype(int), width - 1
+    )
+    cats = sorted({e.cat for e in events})
+    series: Dict[str, List[float]] = {}
+    for cat in cats:
+        counts = np.zeros(width, dtype=np.float64)
+        idx = buckets[np.array([e.cat == cat for e in events], dtype=bool)]
+        np.add.at(counts, idx, 1.0)
+        series[cat] = counts.tolist()
+    times_s = ((t0 + np.arange(width) / (width - 1 or 1) * span) / 1e9).tolist()
+    return timeline_chart(times_s, series, title=title,
+                          width=width, height=height)
+
+
 def timeline_chart(
     times_s: Sequence[float],
     series: Dict[str, Sequence[float]],

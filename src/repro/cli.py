@@ -3,10 +3,15 @@
 Commands:
 
 * ``run``      -- one workload x policy configuration, with the
-                  normalised-performance summary;
+                  normalised-performance summary; ``--trace`` captures
+                  per-cell structured traces, ``--counters`` dumps the
+                  observability counter registry;
 * ``list``     -- available workloads, policies, experiments;
-* ``trace``    -- record a workload's event stream to a ``.npz`` file or
-                  replay a recorded trace under a policy.
+* ``trace``    -- with ``--out``, run one configuration with structured
+                  tracing enabled and export the events (Chrome
+                  ``trace_event`` / JSONL / ASCII); legacy
+                  ``--record``/``--replay`` of workload ``.npz`` streams
+                  still work.
 
 The per-figure regenerators live under ``python -m repro.experiments``.
 """
@@ -14,15 +19,23 @@ The per-figure regenerators live under ``python -m repro.experiments``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis.tables import format_table
 from repro.experiments.__main__ import add_execution_args, apply_execution_args
 from repro.experiments.common import EXPERIMENT_REGISTRY
+from repro.obs.tracer import CATEGORIES
 from repro.policies.registry import policy_names
+from repro.sim import cache as result_cache
 from repro.sim.machine import DEFAULT_SCALE, MachineSpec, ScaleSpec
 from repro.sim.runner import RunSpec, normalized_performance
-from repro.sim.sweep import raise_failures, run_sweep
+from repro.sim.sweep import (
+    TraceConfig,
+    raise_failures,
+    run_sweep,
+    timing_summary,
+)
 from repro.workloads.registry import make_workload, workload_names
 
 QUICK_SCALE = ScaleSpec(
@@ -37,6 +50,38 @@ def _scale(args) -> ScaleSpec:
     return QUICK_SCALE if getattr(args, "quick", False) else DEFAULT_SCALE
 
 
+def _parse_events(value):
+    """``--events migrate,split`` -> validated category tuple (or None)."""
+    if not value:
+        return None
+    events = tuple(c.strip() for c in value.split(",") if c.strip())
+    unknown = sorted(set(events) - set(CATEGORIES))
+    if unknown:
+        raise SystemExit(
+            f"unknown event categories {unknown}; "
+            f"expected a subset of {list(CATEGORIES)}"
+        )
+    return events
+
+
+def _trace_config(args) -> TraceConfig:
+    """Build the per-cell TraceConfig for ``repro run --trace``.
+
+    An explicit directory wins; otherwise traces land under the result
+    cache (``<cache_dir>/traces``), or ``./traces`` with caching off.
+    """
+    directory = args.trace
+    if not directory:
+        cache = result_cache.resolve_cache(result_cache.DEFAULT)
+        base = cache.cache_dir if cache is not None else "."
+        directory = os.path.join(base, "traces")
+    return TraceConfig(
+        directory=directory,
+        level=args.level,
+        categories=_parse_events(args.events),
+    )
+
+
 def cmd_run(args) -> int:
     scale = _scale(args)
     kind = "cxl" if args.cxl else "nvm"
@@ -45,11 +90,12 @@ def cmd_run(args) -> int:
           f"@ {args.ratio} ({kind}) ...")
     spec = RunSpec(args.workload, args.policy, ratio=args.ratio,
                    capacity_kind=kind, scale=scale, seed=args.seed)
+    trace = _trace_config(args) if args.trace is not None else None
     # The sweep executor runs the policy and its baseline in parallel
     # with --jobs 2, and serves both from the persistent cache on
     # repeated invocations.
     specs = [spec] if args.no_baseline else [spec, spec.baseline_spec()]
-    outcomes = run_sweep(specs, jobs=args.jobs)
+    outcomes = run_sweep(specs, jobs=args.jobs, trace=trace)
     raise_failures(outcomes)
     result = outcomes[spec].result
     rows = [
@@ -65,6 +111,21 @@ def cmd_run(args) -> int:
         rows.insert(0, ["normalised performance",
                         f"{normalized_performance(result, baseline):.3f}x"])
     print(format_table(["metric", "value"], rows))
+    timing = timing_summary(outcomes)
+    print(f"sweep timing: {timing['executed']} executed "
+          f"({timing['wall_total_s']:.2f}s wall, "
+          f"mean {timing['wall_mean_s']:.2f}s), "
+          f"{timing['cached']} cached, {timing['failed']} failed")
+    if trace is not None:
+        for s in specs:
+            tag = " [from cache: no events]" if outcomes[s].from_cache else ""
+            print(f"trace: {trace.cell_path(s)}{tag}")
+    if args.counters:
+        counters = result.observability.get("counters", {})
+        print(format_table(
+            ["counter", "value"],
+            [[name, f"{value}"] for name, value in sorted(counters.items())],
+        ))
     return 0
 
 
@@ -80,6 +141,36 @@ def cmd_list(_args) -> int:
 def cmd_trace(args) -> int:
     from repro.workloads.trace import TraceWorkload, record_trace
 
+    if args.out:
+        from repro.obs import Observability
+        from repro.obs.export import ascii_timeline, export_tracer
+
+        obs = Observability.traced(
+            level=args.level, events=_parse_events(args.events)
+        )
+        spec = RunSpec(args.workload, args.policy, ratio=args.ratio,
+                       scale=_scale(args), seed=args.seed)
+        print(f"tracing {args.policy} on {args.workload} "
+              f"@ {args.ratio} (level={args.level}) ...")
+        # Tracing needs the events, not just the result: always execute
+        # (the cache only stores the summary, never the event buffer).
+        result = spec.build(obs=obs).run()
+        exported = export_tracer(
+            obs.tracer, args.out, fmt=args.fmt, phase_ns=result.phase_ns,
+            meta={"spec": spec.to_dict(), "from_cache": False},
+        )
+        stats = obs.tracer.stats()
+        by_cat = obs.tracer.counts_by_category()
+        print(f"{stats['emitted']} events emitted "
+              f"({stats['dropped']} dropped), {exported} exported "
+              f"to {args.out}")
+        if by_cat:
+            print("  " + ", ".join(
+                f"{cat}={count}" for cat, count in sorted(by_cat.items())
+            ))
+        if args.ascii:
+            print(ascii_timeline(obs.tracer.events()))
+        return 0
     if args.record:
         workload = make_workload(args.workload, _scale(args))
         stats = record_trace(workload, args.record, seed=args.seed)
@@ -99,7 +190,8 @@ def cmd_trace(args) -> int:
               f"{args.policy}: hit ratio {result.fast_hit_ratio * 100:.1f}%, "
               f"runtime {result.runtime_ns / 1e6:.1f} ms")
         return 0
-    print("trace: pass --record PATH or --replay PATH", file=sys.stderr)
+    print("trace: pass --out PATH (structured trace export), "
+          "--record PATH or --replay PATH", file=sys.stderr)
     return 2
 
 
@@ -119,16 +211,43 @@ def main(argv=None) -> int:
     p_run.add_argument("--seed", type=int, default=42)
     p_run.add_argument("--no-baseline", action="store_true",
                        help="skip the all-capacity normalisation run")
+    p_run.add_argument("--trace", nargs="?", const="", metavar="DIR",
+                       help="capture a structured trace per sweep cell "
+                            "(default DIR: <cache_dir>/traces)")
+    p_run.add_argument("--counters", action="store_true",
+                       help="print the observability counter registry")
+    p_run.add_argument("--events", metavar="CATS",
+                       help="comma-separated trace categories "
+                            f"({','.join(CATEGORIES)})")
+    p_run.add_argument("--level", default="info",
+                       choices=["debug", "info", "warn"],
+                       help="trace severity floor (default: info)")
     add_execution_args(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_list = sub.add_parser("list", help="list workloads/policies/experiments")
     p_list.set_defaults(fn=cmd_list)
 
-    p_trace = sub.add_parser("trace", help="record or replay a trace")
+    p_trace = sub.add_parser(
+        "trace",
+        help="export a structured run trace, or record/replay a workload",
+    )
     p_trace.add_argument("--workload", default="silo", choices=workload_names())
     p_trace.add_argument("--policy", default="memtis", choices=policy_names())
     p_trace.add_argument("--ratio", default="1:8")
+    p_trace.add_argument("--out", metavar="PATH",
+                         help="run with tracing enabled and export events "
+                              "(.json Chrome/Perfetto, .jsonl, .txt ASCII)")
+    p_trace.add_argument("--events", metavar="CATS",
+                         help="comma-separated trace categories "
+                              f"({','.join(CATEGORIES)})")
+    p_trace.add_argument("--level", default="info",
+                         choices=["debug", "info", "warn"],
+                         help="trace severity floor (default: info)")
+    p_trace.add_argument("--fmt", choices=["chrome", "jsonl", "ascii"],
+                         help="export format (default: by --out extension)")
+    p_trace.add_argument("--ascii", action="store_true",
+                         help="also print an ASCII event timeline")
     p_trace.add_argument("--record", metavar="PATH")
     p_trace.add_argument("--replay", metavar="PATH")
     p_trace.add_argument("--quick", action="store_true")

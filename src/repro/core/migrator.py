@@ -41,6 +41,7 @@ from repro.mem.pages import (
     hpn_to_vpn,
 )
 from repro.mem.tiers import TierKind
+from repro.obs.tracer import DEBUG as TRACE_DEBUG
 from repro.policies.base import PolicyContext, scaled_headroom
 
 
@@ -56,6 +57,16 @@ class KMigrated:
         self._next_tick_ns = 0.0
         self.split_queue: List[int] = []
         self.split_hpns: Set[int] = set()
+        # Run counters live in the shared observability registry; the
+        # int attributes below are properties over these instruments.
+        self.tracer = ctx.obs.tracer
+        self.counters = ctx.obs.counters.scope("kmigrated")
+        self._c_splits = self.counters.counter("splits")
+        self._c_collapses = self.counters.counter("collapses")
+        self._c_split_rounds = self.counters.counter("split_rounds")
+        self._c_promoted = self.counters.counter("promoted_pages")
+        self._c_demoted = self.counters.counter("demoted_pages")
+        self._g_split_queue = self.counters.gauge("split_queue")
         self.splits_done = 0
         self.collapses_done = 0
         self.split_rounds_triggered = 0
@@ -64,6 +75,32 @@ class KMigrated:
         self.last_decision: SplitDecision = SplitDecision(
             ehr=0.0, rhr=0.0, benefit=0.0, n_splits=0, candidates=[]
         )
+
+    # -- registry-backed run counters (assignable for test harnesses) ------------
+
+    @property
+    def splits_done(self) -> int:
+        return self._c_splits.value
+
+    @splits_done.setter
+    def splits_done(self, value: int) -> None:
+        self._c_splits.value = value
+
+    @property
+    def collapses_done(self) -> int:
+        return self._c_collapses.value
+
+    @collapses_done.setter
+    def collapses_done(self, value: int) -> None:
+        self._c_collapses.value = value
+
+    @property
+    def split_rounds_triggered(self) -> int:
+        return self._c_split_rounds.value
+
+    @split_rounds_triggered.setter
+    def split_rounds_triggered(self, value: int) -> None:
+        self._c_split_rounds.value = value
 
     # -- periodic wakeup ------------------------------------------------------------
 
@@ -76,6 +113,7 @@ class KMigrated:
         self._demote_if_needed()
         if self.config.enable_collapse:
             self._maybe_collapse()
+        self._g_split_queue.set(float(len(self.split_queue)))
 
     # -- promotion --------------------------------------------------------------------
 
@@ -97,6 +135,8 @@ class KMigrated:
         order = np.argsort(-self.ksampled.main_bin[reps], kind="stable")
         migrator = self.ctx.migrator
         t_hot = self.ksampled.thresholds.hot
+        promoted = 0
+        promoted_bytes = 0
         for rep in reps[order].tolist():
             if space.page_tier[rep] != int(TierKind.CAPACITY):
                 queue.discard(rep)
@@ -123,6 +163,21 @@ class KMigrated:
                     break
             migrator.migrate_page(rep, TierKind.FAST, critical=False)
             queue.discard(rep)
+            promoted += 1
+            promoted_bytes += nbytes
+            if self.tracer.enabled_for("migrate", TRACE_DEBUG):
+                self.tracer.emit(
+                    "migrate", "promote", TRACE_DEBUG,
+                    vpn=rep, bin=rep_bin, bytes=nbytes,
+                )
+        if promoted:
+            self._c_promoted.inc(promoted)
+            if self.tracer.enabled_for("migrate"):
+                self.tracer.emit(
+                    "migrate", "promote_batch",
+                    pages=promoted, bytes=promoted_bytes,
+                    queue_left=len(queue),
+                )
 
     # -- demotion -------------------------------------------------------------------------
 
@@ -192,6 +247,14 @@ class KMigrated:
         self.ctx.migrator.migrate_many(
             candidates[:k], TierKind.CAPACITY, critical=False
         )
+        self._c_demoted.inc(k)
+        if self.tracer.enabled_for("migrate"):
+            self.tracer.emit(
+                "migrate", "demote",
+                pages=k, bytes=int(cum[k - 1]), need=int(need),
+                allow_warm=allow_warm,
+                max_bin=None if max_bin is None else int(max_bin),
+            )
 
     # -- huge page split (§4.3) ---------------------------------------------------------------
 
@@ -252,6 +315,11 @@ class KMigrated:
         )
         if queued:
             self.split_rounds_triggered += 1
+        if self.tracer.enabled_for("split"):
+            self.tracer.emit(
+                "split", "split_decision",
+                queued=len(queued), **self.last_decision.to_dict(),
+            )
         return len(queued)
 
     def _process_split_queue(self) -> None:
@@ -301,6 +369,15 @@ class KMigrated:
         self.ctx.migrator.split_huge(hpn, subpage_tiers, critical=False)
         self.ksampled.on_split(hpn, kept_mask)
         self.splits_done += 1
+        if self.tracer.enabled_for("split"):
+            n_fast = sum(1 for t in subpage_tiers if t is TierKind.FAST)
+            n_cap = sum(1 for t in subpage_tiers if t is TierKind.CAPACITY)
+            self.tracer.emit(
+                "split", "split",
+                hpn=hpn, hot_subpages=int(sub_hot.sum()),
+                to_fast=n_fast, to_capacity=n_cap,
+                freed=SUBPAGES_PER_HUGE - int(kept_mask.sum()),
+            )
 
     # -- coalescing (§4.3.3, conservative) ---------------------------------------------------
 
@@ -325,6 +402,8 @@ class KMigrated:
             self.ksampled.on_collapse(hpn)
             self.split_hpns.discard(hpn)
             self.collapses_done += 1
+            if self.tracer.enabled_for("split"):
+                self.tracer.emit("split", "collapse", hpn=hpn)
 
     def stats(self) -> Dict[str, float]:
         return {

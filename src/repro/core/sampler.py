@@ -26,6 +26,7 @@ from typing import Dict, Optional, Set
 import numpy as np
 
 from repro import kernels
+from repro.obs.tracer import DEBUG as TRACE_DEBUG
 from repro.core.config import MemtisConfig
 from repro.core.histogram import AccessHistogram, bin_of, bin_of_array
 from repro.kernels.sample_fold import (
@@ -62,6 +63,24 @@ class KSampled:
         self.config = config
         self.ctx = ctx
         num_vpns = ctx.space.num_vpns
+
+        # Observability: the run counters below live in the shared
+        # registry (serialised into SimResult.to_dict()["observability"])
+        # instead of ad-hoc ints; the int-valued attributes
+        # (`total_samples`, `adaptations`, `coolings_requested`) are
+        # properties over these instruments.
+        self.tracer = ctx.obs.tracer
+        self.counters = ctx.obs.counters.scope("ksampled")
+        self._c_samples = self.counters.counter("samples")
+        self._c_adaptations = self.counters.counter("adaptations")
+        self._c_coolings = self.counters.counter("coolings")
+        self._g_promq = self.counters.gauge("promotion_queue")
+        self._g_ehr = self.counters.gauge("ehr")
+        self._g_rhr = self.counters.gauge("rhr")
+        self._g_t_hot = self.counters.gauge("t_hot")
+        self._g_t_warm = self.counters.gauge("t_warm")
+        self._g_t_cold = self.counters.gauge("t_cold")
+        self._d_fold = self.counters.distribution("fold_batch_samples")
 
         self.meta = PageMetadataTable(num_vpns)
         self.hist = AccessHistogram()
@@ -112,6 +131,32 @@ class KSampled:
                 min_store_period=config.store_period,
                 max_store_period=config.store_period * 7,
             )
+
+    # -- registry-backed run counters (assignable for test harnesses) ------------
+
+    @property
+    def total_samples(self) -> int:
+        return self._c_samples.value
+
+    @total_samples.setter
+    def total_samples(self, value: int) -> None:
+        self._c_samples.value = value
+
+    @property
+    def adaptations(self) -> int:
+        return self._c_adaptations.value
+
+    @adaptations.setter
+    def adaptations(self, value: int) -> None:
+        self._c_adaptations.value = value
+
+    @property
+    def coolings_requested(self) -> int:
+        return self._c_coolings.value
+
+    @coolings_requested.setter
+    def coolings_requested(self, value: int) -> None:
+        self._c_coolings.value = value
 
     # -- region lifecycle --------------------------------------------------------
 
@@ -243,6 +288,16 @@ class KSampled:
         self._ehr_hits += res.ehr_hits
         self._tie_credit = res.tie_credit
         self.promotion_queue.update(res.promoted)
+        self._d_fold.record(res.processed)
+        self._g_promq.set(float(len(self.promotion_queue)))
+        tracer = self.tracer
+        if tracer.enabled_for("sample", TRACE_DEBUG):
+            tracer.emit(
+                "sample", "sample_fold", TRACE_DEBUG,
+                processed=res.processed, rhr_hits=res.rhr_hits,
+                ehr_hits=res.ehr_hits, promoted=len(res.promoted),
+                promotion_queue=len(self.promotion_queue),
+            )
 
     # -- periodic duties ------------------------------------------------------------
 
@@ -274,6 +329,7 @@ class KSampled:
                 fast_bytes, self.config.free_space_fraction
             ),
         )
+        old = self.thresholds
         self.thresholds = adapt_thresholds(
             self.hist, usable, alpha=self.config.alpha
         )
@@ -283,6 +339,18 @@ class KSampled:
         self._update_base_cut(usable)
         self._since_adaptation = 0
         self.adaptations += 1
+        self._g_t_hot.set(float(self.thresholds.hot))
+        self._g_t_warm.set(float(self.thresholds.warm))
+        self._g_t_cold.set(float(self.thresholds.cold))
+        if self.tracer.enabled_for("threshold"):
+            self.tracer.emit(
+                "threshold", "threshold_update",
+                old=old.to_dict(), new=self.thresholds.to_dict(),
+                base_hot=self.base_thresholds.hot,
+                base_cut_hotness=self.base_cut_hotness,
+                base_cut_fraction=self.base_cut_fraction,
+                usable_fast_bytes=usable,
+            )
 
     def _update_base_cut(self, usable_fast_bytes: int) -> None:
         """Exact hotness of the marginal base page that still fits DRAM.
@@ -320,6 +388,8 @@ class KSampled:
         ehr = self._ehr_hits / window
         rhr = self._rhr_hits / window
         self.last_ehr, self.last_rhr = ehr, rhr
+        self._g_ehr.set(ehr)
+        self._g_rhr.set(rhr)
         self._window_samples = 0
         self._rhr_hits = 0
         self._ehr_hits = 0
@@ -337,6 +407,12 @@ class KSampled:
         self.meta.cool()
         self._since_cooling = 0
         self.coolings_requested += 1
+        if self.tracer.enabled_for("cooling"):
+            self.tracer.emit(
+                "cooling", "cooling",
+                cooling_number=self.coolings_requested,
+                total_samples=self.total_samples,
+            )
 
         space = self.ctx.space
         mapped = space.page_tier >= 0

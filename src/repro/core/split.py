@@ -101,6 +101,16 @@ class SplitDecision:
     def triggered(self) -> bool:
         return self.n_splits > 0 and bool(self.candidates)
 
+    def to_dict(self) -> dict:
+        """Plain dict for trace events / exports."""
+        return {
+            "ehr": float(self.ehr),
+            "rhr": float(self.rhr),
+            "benefit": float(self.benefit),
+            "n_splits": int(self.n_splits),
+            "candidates": [int(h) for h in self.candidates],
+        }
+
 
 def choose_split_candidates(
     hpns: np.ndarray,

@@ -35,6 +35,10 @@ class Thresholds:
             return "cold"
         return "warm"
 
+    def to_dict(self) -> dict:
+        """Plain dict for trace events / exports."""
+        return {"hot": self.hot, "warm": self.warm, "cold": self.cold}
+
 
 #: Paper initial thresholds (§4.2.1).
 INITIAL_THRESHOLDS = Thresholds(hot=1, warm=1, cold=0)

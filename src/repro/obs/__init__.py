@@ -1,0 +1,79 @@
+"""``repro.obs``: the simulator's structured observability layer.
+
+Two cooperating pieces travel with every simulation:
+
+* :class:`~repro.obs.tracer.Tracer` -- typed, ring-buffered decision
+  events (promotions, splits, threshold moves, cooling, period changes)
+  stamped with virtual time; disabled by default and near-free when
+  disabled;
+* :class:`~repro.obs.counters.CounterRegistry` -- hierarchical
+  counters/gauges/distributions that daemons and policies register
+  into, serialised into ``SimResult.to_dict()["observability"]``.
+
+:class:`Observability` bundles them; the engine creates one per run and
+hands it to every component through :class:`~repro.policies.base.PolicyContext`.
+Exporters (JSONL, Chrome ``trace_event`` for Perfetto, ASCII) live in
+:mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs.counters import (
+    Counter,
+    CounterRegistry,
+    Distribution,
+    Gauge,
+    ScopedRegistry,
+)
+from repro.obs.tracer import (
+    CATEGORIES,
+    DEBUG,
+    INFO,
+    NULL_TRACER,
+    WARN,
+    TraceEvent,
+    Tracer,
+    level_name,
+    make_tracer,
+    parse_level,
+)
+
+__all__ = [
+    "CATEGORIES", "Counter", "CounterRegistry", "DEBUG", "Distribution",
+    "Gauge", "INFO", "NULL_TRACER", "Observability", "ScopedRegistry",
+    "TraceEvent", "Tracer", "WARN", "level_name", "make_tracer",
+    "parse_level",
+]
+
+
+class Observability:
+    """One run's tracer + counter registry (and their serialisation)."""
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        counters: Optional[CounterRegistry] = None,
+    ):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.counters = counters if counters is not None else CounterRegistry()
+
+    @classmethod
+    def traced(cls, level="info", events=None, capacity: int = 1 << 16
+               ) -> "Observability":
+        """Observability with an *enabled* tracer (CLI convenience)."""
+        return cls(tracer=make_tracer(level=level, events=events,
+                                      capacity=capacity))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``observability`` section of ``SimResult.to_dict()``.
+
+        Counters are the payload; the tracer contributes only its
+        summary (events stay in the tracer for exporters), so results
+        remain small and cached runs stay comparable to live ones.
+        """
+        return {
+            "counters": self.counters.as_dict(),
+            "tracer": self.tracer.stats(),
+        }

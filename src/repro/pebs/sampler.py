@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER, WARN, Tracer
 from repro.pebs.events import AccessBatch
 
 #: Paper defaults (§4.1.1).
@@ -55,8 +56,9 @@ class SampleBatch:
 class PEBSSampler:
     """Every-Nth-event sampler with independent load/store counters."""
 
-    def __init__(self, config: SamplerConfig = None):
+    def __init__(self, config: SamplerConfig = None, tracer: Tracer = None):
         self.config = config or SamplerConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._load_phase = 0  # events seen since last load sample
         self._store_phase = 0
         self.total_samples = 0
@@ -75,6 +77,13 @@ class PEBSSampler:
         """Reprogram the counters (the `__perf_event_period` path)."""
         if load_period <= 0 or store_period <= 0:
             raise ValueError("sampling periods must be positive")
+        if self.tracer.enabled_for("period"):
+            self.tracer.emit(
+                "period", "period_adjust",
+                old_load=self.config.load_period,
+                old_store=self.config.store_period,
+                new_load=int(load_period), new_store=int(store_period),
+            )
         self.config.load_period = int(load_period)
         self.config.store_period = int(store_period)
         self._load_phase %= self.config.load_period
@@ -114,8 +123,12 @@ class PEBSSampler:
 
         if len(positions) > self.config.buffer_capacity:
             # PEBS buffer overflow: the oldest records beyond capacity drop.
-            self.dropped_samples += len(positions) - self.config.buffer_capacity
+            dropped = len(positions) - self.config.buffer_capacity
+            self.dropped_samples += dropped
             positions = positions[-self.config.buffer_capacity :]
+            if self.tracer.enabled_for("sample", WARN):
+                self.tracer.emit("sample", "buffer_overflow", WARN,
+                                 dropped=dropped)
 
         self.total_samples += len(positions)
         return SampleBatch(batch.vpn[positions], batch.is_store[positions])

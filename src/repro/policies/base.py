@@ -21,7 +21,7 @@ accounted uniformly.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
@@ -30,6 +30,7 @@ from repro.mem.address_space import AddressSpace
 from repro.mem.migration import MigrationEngine
 from repro.mem.tiers import TieredMemory, TierKind
 from repro.mem.tlb import TLB
+from repro.obs import NULL_TRACER, Observability
 from repro.pebs.events import AccessBatch
 from repro.pebs.sampler import PEBSSampler, SampleBatch
 
@@ -72,6 +73,9 @@ class PolicyContext:
     rng: np.random.Generator
     sampler: Optional[PEBSSampler] = None
     hint_fault_ns: float = 1_800.0
+    #: Per-run observability: tracer (disabled by default) + counter
+    #: registry; the engine shares one across every bound component.
+    obs: Observability = field(default_factory=Observability)
 
 
 @dataclass
@@ -123,12 +127,18 @@ class TieringPolicy(abc.ABC):
         self.ctx: Optional[PolicyContext] = None
         #: Optional per-vpn protection mask for hint-fault tracking.
         self.protection_mask: Optional[np.ndarray] = None
+        #: Bound at :meth:`bind`; usable unbound so tests constructing
+        #: policies without an engine keep working.
+        self.tracer = NULL_TRACER
+        self.counters = None
 
     # -- lifecycle -----------------------------------------------------------
 
     def bind(self, ctx: PolicyContext) -> None:
         """Attach to a machine.  Subclasses should call super().bind()."""
         self.ctx = ctx
+        self.tracer = ctx.obs.tracer
+        self.counters = ctx.obs.counters.scope(f"policy/{self.name}")
         ctx.space.add_unmap_listener(self.on_unmap)
 
     def sampler_config(self):
@@ -182,8 +192,16 @@ class TieringPolicy(abc.ABC):
         return 1.0
 
     def stats(self) -> Dict[str, float]:
-        """Policy-specific snapshot merged into timeline points."""
-        return {}
+        """Policy-specific snapshot merged into timeline points.
+
+        Default: whatever the policy registered into its scoped counter
+        registry (``policy/<name>/...``) -- the structured replacement
+        for hand-rolled stat dicts.  Policies with derived or legacy
+        metrics still override.
+        """
+        if self.counters is None:
+            return {}
+        return self.counters.flat()
 
     # -- helpers shared by subclasses ----------------------------------------------
 

@@ -30,6 +30,7 @@ from repro.mem.address_space import AddressSpace, Region
 from repro.mem.migration import MigrationEngine, MigrationStats
 from repro.mem.tiers import TieredMemory, TierKind
 from repro.mem.tlb import TLB, TLBConfig, TLBStats
+from repro.obs import DEBUG, Observability
 from repro.pebs.events import AccessBatch
 from repro.pebs.sampler import PEBSSampler, SamplerConfig
 from repro.policies.base import BatchObservation, PolicyContext, TieringPolicy
@@ -62,6 +63,11 @@ class SimResult:
     #: True when this result was served from the persistent result
     #: cache; ``wall_seconds`` is 0.0 then (nothing was simulated).
     from_cache: bool = False
+    #: Serialised :meth:`repro.obs.Observability.snapshot`: the counter
+    #: registry contents plus a tracer summary.  Simulation behaviour is
+    #: independent of tracing, so everything outside this section is
+    #: bit-identical between traced and untraced runs.
+    observability: Dict[str, Any] = dataclasses.field(default_factory=dict)
 
     @property
     def runtime_ns(self) -> float:
@@ -137,6 +143,7 @@ class SimResult:
             "wall_seconds": self.wall_seconds,
             "phase_ns": self.phase_ns,
             "from_cache": self.from_cache,
+            "observability": self.observability,
         })
 
 
@@ -178,6 +185,7 @@ class Simulation:
         timeline_interval_ns: float = 20e6,
         force_base_pages: bool = False,
         validate_every: int = 0,
+        obs: Optional[Observability] = None,
     ):
         self.workload = workload
         self.policy = policy
@@ -193,6 +201,11 @@ class Simulation:
         self._batches_processed = 0
         #: Wall-time (ns) spent in each hot phase, for BENCH breakdowns.
         self._phase_ns = {"sample_ns": 0.0, "tlb_ns": 0.0, "policy_ns": 0.0}
+        #: Shared observability: tracer (disabled unless the caller
+        #: enables it) + counter registry for every bound component.
+        self.obs = obs if obs is not None else Observability()
+        self._epoch_start_ns = 0.0
+        self._epoch_index = 0
 
         self.tiers: TieredMemory = machine.build_tiers()
         self.space = AddressSpace(self.tiers)
@@ -208,7 +221,8 @@ class Simulation:
 
         sampler = None
         if policy.uses_pebs:
-            sampler = PEBSSampler(policy.sampler_config() or SamplerConfig())
+            sampler = PEBSSampler(policy.sampler_config() or SamplerConfig(),
+                                  tracer=self.obs.tracer)
         self.sampler = sampler
 
         self.ctx = PolicyContext(
@@ -220,6 +234,7 @@ class Simulation:
             rng=np.random.default_rng(seed + 1),
             sampler=sampler,
             hint_fault_ns=self.cost_model.hint_fault_ns,
+            obs=self.obs,
         )
         policy.bind(self.ctx)
 
@@ -270,6 +285,10 @@ class Simulation:
             return
         space = self.space
         space.record_touch(batch.vpn)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            # Components stamp events off the tracer's virtual clock.
+            tracer.now_ns = self.now_ns
 
         # Demand faults: first touch of pages freed by a huge-page split
         # maps a fresh zero base page (minor-fault cost, charged below).
@@ -282,6 +301,9 @@ class Simulation:
             self.policy.on_demand_map(missing)
             demand_fault_ns = self.bound_cost.fault_ns(len(missing))
             tier_per_access = space.page_tier[batch.vpn]
+            if tracer.enabled_for("engine", DEBUG):
+                tracer.emit("engine", "demand_map", DEBUG,
+                            pages=len(missing), fault_ns=demand_fault_ns)
         mem_ns = self.bound_cost.memory_ns(tier_per_access, batch.is_store)
         compute_ns = self.bound_cost.compute_ns(n)
         fast_hits = int(np.count_nonzero(tier_per_access == int(TierKind.FAST)))
@@ -312,6 +334,9 @@ class Simulation:
                 num_faults = len(faulted)
                 fault_ns += self.bound_cost.fault_ns(num_faults)
                 critical_ns += self.policy.on_hint_faults(faulted)
+                if tracer.enabled_for("engine", DEBUG):
+                    tracer.emit("engine", "hint_fault", DEBUG,
+                                faults=num_faults, critical_ns=critical_ns)
 
         # Policy observation.  Unique-vpn aggregation is lazy: policies
         # that need it call ``obs.unique()``; computing it eagerly for
@@ -346,6 +371,8 @@ class Simulation:
             hint_faults=num_faults,
         )
         self.now_ns += total_ns + contention_extra
+        if tracer.enabled:
+            tracer.now_ns = self.now_ns
 
         t0 = time.perf_counter_ns()
         self.policy.on_tick(self.now_ns)
@@ -353,12 +380,25 @@ class Simulation:
         self._batches_processed += 1
         if self.validate_every and self._batches_processed % self.validate_every == 0:
             space.check_consistency()
-        self.metrics.maybe_snapshot(
+        if self.metrics.maybe_snapshot(
             self.now_ns,
             rss_bytes=space.rss_bytes,
             fast_used_bytes=self.tiers.fast.used_bytes,
             policy_stats_fn=self.policy.stats,
-        )
+        ):
+            self._close_epoch()
+
+    def _close_epoch(self) -> None:
+        """Emit the span for the timeline window that just closed."""
+        tracer = self.obs.tracer
+        if tracer.enabled_for("epoch"):
+            tracer.emit(
+                "epoch", "epoch", ts_ns=self._epoch_start_ns,
+                index=self._epoch_index,
+                dur_ns=self.now_ns - self._epoch_start_ns,
+            )
+        self._epoch_index += 1
+        self._epoch_start_ns = self.now_ns
 
     # -- driver ------------------------------------------------------------------
 
@@ -377,6 +417,15 @@ class Simulation:
                     break
             else:
                 raise TypeError(f"unknown workload event {event!r}")
+        # Close the tail window so timelines always cover the full run,
+        # even when the last interval is shorter than the period.
+        if self.metrics.finalize(
+            self.now_ns,
+            rss_bytes=self.space.rss_bytes,
+            fast_used_bytes=self.tiers.fast.used_bytes,
+            policy_stats_fn=self.policy.stats,
+        ):
+            self._close_epoch()
         wall_seconds = time.perf_counter() - wall_start
 
         sampler_stats: Dict[str, float] = {}
@@ -388,6 +437,10 @@ class Simulation:
                 "load_period": float(self.sampler.load_period),
                 "store_period": float(self.sampler.store_period),
             }
+            pebs = self.obs.counters.scope("pebs")
+            for key, value in sampler_stats.items():
+                pebs.gauge(key).set(value)
+        self.metrics.publish(self.obs.counters)
 
         return SimResult(
             workload_name=self.workload.name,
@@ -403,4 +456,5 @@ class Simulation:
             sampler_stats=sampler_stats,
             wall_seconds=wall_seconds,
             phase_ns=dict(self._phase_ns),
+            observability=self.obs.snapshot(),
         )

@@ -101,14 +101,20 @@ class MetricsCollector:
         self._window_accesses += accesses
         self._window_fast_hits += fast_hits
 
-    def maybe_snapshot(self, now_ns, rss_bytes, fast_used_bytes, policy_stats_fn) -> None:
+    def maybe_snapshot(self, now_ns, rss_bytes, fast_used_bytes, policy_stats_fn) -> bool:
         """Emit a timeline point if the interval elapsed.
 
         ``policy_stats_fn`` is called lazily -- only when a point is
         actually recorded -- because policy snapshots can be expensive.
+        Returns True when a point was recorded (the engine uses this to
+        close its per-epoch trace span).
         """
         if now_ns - self._window_start_ns < self.timeline_interval_ns:
-            return
+            return False
+        self._snapshot(now_ns, rss_bytes, fast_used_bytes, policy_stats_fn)
+        return True
+
+    def _snapshot(self, now_ns, rss_bytes, fast_used_bytes, policy_stats_fn) -> None:
         self.timeline.append(
             TimelinePoint(
                 now_ns=now_ns,
@@ -123,3 +129,43 @@ class MetricsCollector:
         self._window_start_ns = now_ns
         self._window_accesses = 0
         self._window_fast_hits = 0
+
+    def finalize(self, now_ns, rss_bytes, fast_used_bytes, policy_stats_fn) -> bool:
+        """Guarantee an end-of-run timeline point covering the tail.
+
+        Without this, a final window shorter than the snapshot period
+        silently vanished and timelines stopped before the run did
+        (visible as Fig. 9/11 curves ending early).  Records a closing
+        point whenever the tail window saw accesses -- or when the whole
+        run was shorter than one period and the timeline would otherwise
+        be empty.  Returns True if a point was recorded.
+        """
+        if now_ns <= self._window_start_ns and self.timeline:
+            return False
+        if self._window_accesses == 0 and self.timeline:
+            return False
+        if now_ns <= 0:
+            return False
+        self._snapshot(now_ns, rss_bytes, fast_used_bytes, policy_stats_fn)
+        return True
+
+    def publish(self, registry) -> None:
+        """Mirror run totals into an ``engine/`` counter-registry scope.
+
+        Called once at end-of-run: the registry (see
+        :mod:`repro.obs.counters`) is the structured replacement for
+        passing this collector's attributes around as ad-hoc dicts.
+        """
+        scope = registry.scope("engine")
+        scope.gauge("total_accesses").set(float(self.total_accesses))
+        scope.gauge("total_fast_hits").set(float(self.total_fast_hits))
+        scope.gauge("fast_hit_ratio").set(self.fast_hit_ratio)
+        scope.gauge("runtime_ns").set(self.runtime_ns)
+        scope.gauge("mem_ns").set(self.mem_ns)
+        scope.gauge("compute_ns").set(self.compute_ns)
+        scope.gauge("walk_ns").set(self.walk_ns)
+        scope.gauge("fault_ns").set(self.fault_ns)
+        scope.gauge("critical_policy_ns").set(self.critical_policy_ns)
+        scope.gauge("contention_extra_ns").set(self.contention_extra_ns)
+        scope.gauge("hint_faults").set(float(self.num_hint_faults))
+        scope.gauge("timeline_points").set(float(len(self.timeline)))

@@ -46,7 +46,8 @@ from repro.workloads.registry import make_workload
 
 #: Bump when engine/policy changes alter simulation results: old cache
 #: entries become unreachable without deleting the cache directory.
-SPEC_SCHEMA_VERSION = 2
+#: v3: guaranteed tail metrics snapshot + observability summary field.
+SPEC_SCHEMA_VERSION = 3
 
 #: Machine variants a spec can request (see :meth:`MachineSpec.all_capacity`).
 MACHINE_VARIANTS = ("tiered", "all-capacity", "all-fast")
@@ -156,8 +157,14 @@ class RunSpec:
 
     # -- execution ---------------------------------------------------------
 
-    def build(self) -> Simulation:
-        """Construct the :class:`Simulation` this spec describes."""
+    def build(self, obs=None) -> Simulation:
+        """Construct the :class:`Simulation` this spec describes.
+
+        ``obs`` optionally supplies a pre-configured
+        :class:`repro.obs.Observability` (e.g. with tracing enabled);
+        it is not part of the spec identity -- tracing never changes
+        simulation results.
+        """
         workload = make_workload(self.workload, self.scale)
         machine = MachineSpec.from_ratio(
             workload.total_bytes, ratio=self.ratio,
@@ -170,7 +177,7 @@ class RunSpec:
         policy = make_policy(self.policy, **self.policy_kwargs_dict)
         return Simulation(
             workload, policy, machine, seed=self.seed,
-            force_base_pages=self.force_base_pages,
+            force_base_pages=self.force_base_pages, obs=obs,
         )
 
     def run(self, cache=result_cache.DEFAULT) -> SimResult:

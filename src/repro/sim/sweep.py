@@ -18,7 +18,13 @@ baselines.  :func:`run_sweep` executes any collection of specs:
   failed :class:`CellOutcome` while the rest of the sweep completes;
 * **observable** -- a ``progress`` callback receives a
   :class:`SweepEvent` per completed cell (accepting callbacks that take
-  the event or just a message string).
+  the event or just a message string); pass a :class:`TraceConfig` to
+  additionally capture a structured trace per executed cell (cached
+  cells get a stub file annotated ``from_cache``).
+
+:func:`timing_summary` aggregates wall-clock statistics over a finished
+sweep, *excluding* cached cells (their ``wall_seconds`` is zeroed and
+would otherwise skew the mean and percentiles toward zero).
 
 The default worker count comes from :func:`set_default_jobs` (set by the
 CLI ``--jobs`` flag) or the ``REPRO_JOBS`` environment variable.
@@ -26,6 +32,7 @@ CLI ``--jobs`` flag) or the ``REPRO_JOBS`` environment variable.
 
 from __future__ import annotations
 
+import json
 import os
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -57,6 +64,79 @@ def default_jobs() -> int:
         return max(1, int(env))
     except ValueError:
         return 1
+
+
+# -- per-cell tracing ---------------------------------------------------------
+
+#: File extension per trace export format.
+_TRACE_EXT = {"chrome": "json", "jsonl": "jsonl", "ascii": "txt"}
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Picklable per-cell tracing request for :func:`run_sweep`.
+
+    ``directory`` receives one trace file per cell, named by the cell's
+    content hash (``<cache_key[:16]>.<ext>``) so files are stable across
+    re-runs.  ``categories=None`` means all categories.
+    """
+
+    directory: str
+    level: str = "info"
+    categories: Optional[Tuple[str, ...]] = None
+    fmt: str = "chrome"
+    capacity: int = 1 << 16
+
+    def __post_init__(self):
+        if self.fmt not in _TRACE_EXT:
+            raise ValueError(
+                f"unknown trace format {self.fmt!r}; "
+                f"expected one of {sorted(_TRACE_EXT)}"
+            )
+        if self.categories is not None and not isinstance(
+            self.categories, tuple
+        ):
+            object.__setattr__(self, "categories", tuple(self.categories))
+
+    def cell_path(self, spec: RunSpec) -> str:
+        return os.path.join(
+            self.directory,
+            f"{spec.cache_key()[:16]}.{_TRACE_EXT[self.fmt]}",
+        )
+
+
+def _export_cell_trace(trace: TraceConfig, spec: RunSpec, obs, result) -> None:
+    from repro.obs.export import export_tracer
+
+    os.makedirs(trace.directory, exist_ok=True)
+    export_tracer(
+        obs.tracer, trace.cell_path(spec), fmt=trace.fmt,
+        phase_ns=result.phase_ns,
+        meta={"spec": spec.to_dict(), "from_cache": False},
+    )
+
+
+def _write_cached_stub(trace: TraceConfig, spec: RunSpec) -> None:
+    """Annotate a cache hit: no events were captured for this cell.
+
+    A real trace from an earlier (uncached) run of the same cell is
+    left untouched -- the stub only fills the gap.
+    """
+    os.makedirs(trace.directory, exist_ok=True)
+    path = trace.cell_path(spec)
+    if os.path.exists(path):
+        return
+    meta = {"spec": spec.to_dict(), "from_cache": True}
+    if trace.fmt == "chrome":
+        with open(path, "w") as fh:
+            json.dump({"traceEvents": [], "displayTimeUnit": "ms",
+                       "otherData": meta}, fh)
+    elif trace.fmt == "jsonl":
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"type": "meta", **meta}) + "\n")
+    else:
+        with open(path, "w") as fh:
+            fh.write("(from cache: no events captured)\n")
 
 
 # -- outcomes and progress ----------------------------------------------------
@@ -105,29 +185,47 @@ def _emit(progress: Optional[ProgressFn], event: SweepEvent) -> None:
 # -- execution ----------------------------------------------------------------
 
 
-def _run_cell(spec: RunSpec) -> Tuple[bool, Optional[SimResult], Optional[str]]:
+def _run_cell(
+    spec: RunSpec, trace: Optional[TraceConfig] = None
+) -> Tuple[bool, Optional[SimResult], Optional[str]]:
     """Execute one spec; never raises.
 
     Runs without touching the cache: the driver pre-filters hits and
-    persists successes, so workers stay pure compute.
+    persists successes, so workers stay pure compute.  With ``trace``,
+    the run is traced and the events exported to the trace directory
+    before returning (tracing never changes simulation results).
     """
     try:
-        return True, spec.build().run(max_accesses=spec.max_accesses), None
+        obs = None
+        if trace is not None:
+            from repro.obs import Observability
+
+            obs = Observability.traced(
+                level=trace.level, events=trace.categories,
+                capacity=trace.capacity,
+            )
+        result = spec.build(obs=obs).run(max_accesses=spec.max_accesses)
+        if trace is not None:
+            _export_cell_trace(trace, spec, obs, result)
+        return True, result, None
     except BaseException:
         return False, None, traceback.format_exc()
 
 
 def _execute_batch(
-    specs: Sequence[RunSpec], jobs: int
+    specs: Sequence[RunSpec], jobs: int,
+    trace: Optional[TraceConfig] = None,
 ) -> List[Tuple[RunSpec, Tuple[bool, Optional[SimResult], Optional[str]]]]:
     """Run ``specs`` once each; one (spec, (ok, result, error)) per spec."""
     if jobs <= 1 or len(specs) <= 1:
-        return [(spec, _run_cell(spec)) for spec in specs]
+        return [(spec, _run_cell(spec, trace)) for spec in specs]
     out = []
     returned = set()
     try:
         with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-            futures = {pool.submit(_run_cell, spec): spec for spec in specs}
+            futures = {
+                pool.submit(_run_cell, spec, trace): spec for spec in specs
+            }
             for future in as_completed(futures):
                 spec = futures[future]
                 try:
@@ -156,12 +254,15 @@ def run_sweep(
     cache=result_cache.DEFAULT,
     progress: Optional[ProgressFn] = None,
     retries: int = 1,
+    trace: Optional[TraceConfig] = None,
 ) -> Dict[RunSpec, CellOutcome]:
     """Execute every distinct spec; returns ``{spec: CellOutcome}``.
 
     Results for duplicate specs are shared; input order is preserved in
     the returned mapping.  Failed cells never abort the sweep -- check
-    ``outcome.ok`` (or use :func:`raise_failures`).
+    ``outcome.ok`` (or use :func:`raise_failures`).  With ``trace``,
+    each executed cell writes a trace file into ``trace.directory``;
+    cache hits get a stub annotated ``from_cache`` instead.
     """
     ordered = list(dict.fromkeys(specs))
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
@@ -180,6 +281,8 @@ def run_sweep(
             hit.wall_seconds = 0.0
             hit.from_cache = True
             outcomes[spec] = CellOutcome(spec, result=hit, from_cache=True)
+            if trace is not None:
+                _write_cached_stub(trace, spec)
             _emit(progress, SweepEvent("cached", spec, completed, total))
         else:
             pending.append(spec)
@@ -187,7 +290,7 @@ def run_sweep(
     attempts: Dict[RunSpec, int] = {spec: 0 for spec in pending}
     while pending:
         batch, pending = pending, []
-        for spec, (ok, result, error) in _execute_batch(batch, jobs):
+        for spec, (ok, result, error) in _execute_batch(batch, jobs, trace):
             attempts[spec] += 1
             if ok:
                 completed += 1
@@ -234,3 +337,43 @@ def raise_failures(outcomes: Dict[RunSpec, CellOutcome]) -> None:
     failures = [o for o in outcomes.values() if not o.ok]
     if failures:
         raise SweepError(failures)
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def timing_summary(outcomes) -> Dict[str, float]:
+    """Wall-clock statistics over a sweep, excluding cached cells.
+
+    Cached cells carry ``wall_seconds == 0.0`` (they did no simulation
+    work), so including them would drag the mean and percentiles toward
+    zero; they are counted separately instead.  Accepts the mapping
+    returned by :func:`run_sweep` or any iterable of
+    :class:`CellOutcome`.
+    """
+    cells = list(outcomes.values()) if isinstance(outcomes, dict) \
+        else list(outcomes)
+    cached = sum(1 for o in cells if o.ok and o.from_cache)
+    failed = sum(1 for o in cells if not o.ok)
+    walls = sorted(
+        o.result.wall_seconds for o in cells if o.ok and not o.from_cache
+    )
+    n = len(walls)
+    return {
+        "cells": len(cells),
+        "executed": n,
+        "cached": cached,
+        "failed": failed,
+        "wall_total_s": float(sum(walls)),
+        "wall_mean_s": float(sum(walls) / n) if n else 0.0,
+        "wall_min_s": float(walls[0]) if n else 0.0,
+        "wall_max_s": float(walls[-1]) if n else 0.0,
+        "wall_p50_s": float(_percentile(walls, 0.50)),
+        "wall_p90_s": float(_percentile(walls, 0.90)),
+    }
