@@ -1,0 +1,48 @@
+"""Runtime invariant sanitizer and fault-injection harness.
+
+MEMTIS's correctness rests on cross-structure bookkeeping the paper's
+kernel implementation earns through hard-won invariants: tier byte
+accounting, histogram mass conservation under cooling and split /
+collapse, promotion-queue membership, split metadata, TLB coherence.
+The simulator re-implements all of that in Python; this package turns
+silent bookkeeping drift into loud, structured failures:
+
+* :mod:`repro.check.invariants` -- the sanitizer: a registry of
+  cross-structure checks runnable per batch (``strict``), per epoch
+  (``epoch``) or at run end (``end``), raising
+  :class:`InvariantViolation` with the failing findings and recent
+  tracer context attached;
+* :mod:`repro.check.faults` -- deterministic, seed-driven fault
+  injectors (dropped/duplicated PEBS samples, transient fast-tier
+  allocation outages, delayed ``kmigrated`` ticks) threaded through the
+  PEBS sampler, the tiers and the engine so chaos tests can assert the
+  daemons degrade gracefully instead of corrupting state.
+
+Selection: ``RunSpec(check="strict")``, ``repro run --check[=level]``,
+or the ``REPRO_CHECK`` environment variable (``1`` = per-epoch).
+"""
+
+from repro.check.invariants import (
+    CheckContext,
+    CheckLevel,
+    Finding,
+    InvariantViolation,
+    Sanitizer,
+    check_level_from_env,
+    parse_check_level,
+    resolve_check_level,
+)
+from repro.check.faults import FaultConfig, FaultInjector
+
+__all__ = [
+    "CheckContext",
+    "CheckLevel",
+    "FaultConfig",
+    "FaultInjector",
+    "Finding",
+    "InvariantViolation",
+    "Sanitizer",
+    "check_level_from_env",
+    "parse_check_level",
+    "resolve_check_level",
+]

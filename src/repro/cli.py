@@ -89,7 +89,8 @@ def cmd_run(args) -> int:
     print(f"running {args.policy} on {args.workload} "
           f"@ {args.ratio} ({kind}) ...")
     spec = RunSpec(args.workload, args.policy, ratio=args.ratio,
-                   capacity_kind=kind, scale=scale, seed=args.seed)
+                   capacity_kind=kind, scale=scale, seed=args.seed,
+                   check=args.check)
     trace = _trace_config(args) if args.trace is not None else None
     # The sweep executor runs the policy and its baseline in parallel
     # with --jobs 2, and serves both from the persistent cache on
@@ -216,6 +217,11 @@ def main(argv=None) -> int:
                             "(default DIR: <cache_dir>/traces)")
     p_run.add_argument("--counters", action="store_true",
                        help="print the observability counter registry")
+    p_run.add_argument("--check", nargs="?", const="strict", default=None,
+                       choices=["off", "end", "epoch", "strict"],
+                       help="run the invariant sanitizer (bare --check = "
+                            "strict: every batch; checked runs always "
+                            "execute instead of hitting the cache)")
     p_run.add_argument("--events", metavar="CATS",
                        help="comma-separated trace categories "
                             f"({','.join(CATEGORIES)})")

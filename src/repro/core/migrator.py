@@ -39,6 +39,7 @@ from repro.mem.pages import (
     HUGE_PAGE_SIZE,
     SUBPAGES_PER_HUGE,
     hpn_to_vpn,
+    vpn_to_hpn,
 )
 from repro.mem.tiers import TierKind
 from repro.obs.tracer import DEBUG as TRACE_DEBUG
@@ -49,6 +50,11 @@ class KMigrated:
     """Background promotion/demotion/split/collapse."""
 
     MAX_SPLITS_PER_TICK = 64
+    #: Oversized promotion candidates skipped per tick before giving up.
+    #: Bounds the work wasted on huge pages that cannot fit (each skip
+    #: may already have paid for a partial demotion pass) while still
+    #: letting hotter-than-threshold base pages behind them promote.
+    MAX_PROMOTE_SKIPS = 8
 
     def __init__(self, config: MemtisConfig, ctx: PolicyContext, ksampled: KSampled):
         self.config = config
@@ -137,6 +143,7 @@ class KMigrated:
         t_hot = self.ksampled.thresholds.hot
         promoted = 0
         promoted_bytes = 0
+        skips = 0
         for rep in reps[order].tolist():
             if space.page_tier[rep] != int(TierKind.CAPACITY):
                 queue.discard(rep)
@@ -147,7 +154,7 @@ class KMigrated:
                 queue.discard(rep)
                 continue
             nbytes = HUGE_PAGE_SIZE if space.page_huge[rep] else BASE_PAGE_SIZE
-            if tiers.fast.free_bytes < nbytes:
+            if tiers.fast.avail_bytes < nbytes:
                 # Make room by demoting *strictly colder* pages only --
                 # "where there are no cold pages in the fast tier and
                 # MEMTIS needs to secure free space ... it proceeds to
@@ -155,12 +162,20 @@ class KMigrated:
                 # every exchange raise the fast tier's total hotness, so
                 # promotion converges instead of thrashing.
                 self._demote(
-                    nbytes - tiers.fast.free_bytes,
+                    nbytes - tiers.fast.avail_bytes,
                     allow_warm=True,
                     max_bin=rep_bin,
                 )
-                if tiers.fast.free_bytes < nbytes:
-                    break
+                if tiers.fast.avail_bytes < nbytes:
+                    # Skip the page that will not fit (typically a huge
+                    # page with no colder 2 MiB worth of victims) rather
+                    # than break: a hotter-than-threshold base page later
+                    # in the order may still fit.  Left queued for the
+                    # next tick.
+                    skips += 1
+                    if skips >= self.MAX_PROMOTE_SKIPS:
+                        break
+                    continue
             migrator.migrate_page(rep, TierKind.FAST, critical=False)
             queue.discard(rep)
             promoted += 1
@@ -329,7 +344,11 @@ class KMigrated:
             hpn = self.split_queue.pop(0)
             head = hpn_to_vpn(hpn)
             if not space.page_huge[head]:
-                continue  # raced with free/remap
+                # Raced with free/remap: drop the tracking entry too, or
+                # the hpn stays in split_hpns forever and consider_split
+                # can never re-queue that slot once it is huge again.
+                self.split_hpns.discard(hpn)
+                continue
             self._split_one(hpn)
             budget -= 1
 
@@ -349,7 +368,7 @@ class KMigrated:
         )
 
         subpage_tiers = []
-        fast_budget = tiers.fast.free_bytes - headroom // 2
+        fast_budget = tiers.fast.avail_bytes - headroom // 2
         src_fast = space.page_tier[head] == int(TierKind.FAST)
         for j in range(SUBPAGES_PER_HUGE):
             if not touched[j]:
@@ -396,7 +415,16 @@ class KMigrated:
             hotness = self.ksampled.meta.sub_count[sl] * self.ksampled.comp
             if not np.all(hotness >= threshold_hotness):
                 continue
-            if not self.ctx.tiers.fast.can_alloc(HUGE_PAGE_SIZE):
+            # Collapse frees the subpages before re-mapping the 2 MiB
+            # range (unmap-then-map, like khugepaged), so bytes already
+            # resident on the fast tier come back mid-operation; only
+            # the *difference* needs to be free.  Demanding the full
+            # 2 MiB would wrongly block collapse near capacity -- the
+            # common case, since all-hot ranges live mostly in DRAM.
+            resident_fast = int(
+                np.count_nonzero(space.page_tier[sl] == int(TierKind.FAST))
+            ) * BASE_PAGE_SIZE
+            if not self.ctx.tiers.fast.can_alloc(HUGE_PAGE_SIZE - resident_fast):
                 continue
             self.ctx.migrator.collapse_huge(hpn, TierKind.FAST, critical=False)
             self.ksampled.on_collapse(hpn)
@@ -404,6 +432,25 @@ class KMigrated:
             self.collapses_done += 1
             if self.tracer.enabled_for("split"):
                 self.tracer.emit("split", "collapse", hpn=hpn)
+
+    def on_unmap(self, base_vpn: int, num_vpns: int) -> None:
+        """Drop split bookkeeping for a freed range.
+
+        Without this, an hpn split inside a region that is later freed
+        survives in ``split_hpns``; when the slot is recycled as a fresh
+        huge mapping, ``_maybe_collapse`` could coalesce it spuriously
+        and ``consider_split`` would refuse to ever split it again.
+        """
+        lo = vpn_to_hpn(base_vpn)
+        hi = vpn_to_hpn(base_vpn + num_vpns + SUBPAGES_PER_HUGE - 1)
+        if self.split_queue:
+            self.split_queue = [
+                h for h in self.split_queue if not lo <= h < hi
+            ]
+        if self.split_hpns:
+            self.split_hpns = {
+                h for h in self.split_hpns if not lo <= h < hi
+            }
 
     def stats(self) -> Dict[str, float]:
         return {

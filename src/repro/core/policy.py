@@ -80,6 +80,8 @@ class MemtisPolicy(TieringPolicy):
     def on_unmap(self, base_vpn: int, num_vpns: int) -> None:
         if self.ksampled is not None:
             self.ksampled.on_unmap(base_vpn, num_vpns)
+        if self.kmigrated is not None:
+            self.kmigrated.on_unmap(base_vpn, num_vpns)
 
     def on_demand_map(self, vpns: np.ndarray) -> None:
         self.ksampled.on_demand_map(vpns)

@@ -136,6 +136,25 @@ def lru_invalidate(tags: np.ndarray, tag: int) -> bool:
     return True
 
 
+def lru_invalidate_range(tags: np.ndarray, lo: int, hi: int) -> int:
+    """Remove every tag in ``[lo, hi)``; returns the number removed.
+
+    Rows keep their MRU order with valid entries compacted to a prefix,
+    matching what per-tag :func:`lru_invalidate` calls would leave.
+    """
+    if hi <= lo:
+        return 0
+    mask = (tags >= lo) & (tags < hi)
+    removed = int(np.count_nonzero(mask))
+    if not removed:
+        return 0
+    for r in np.flatnonzero(mask.any(axis=1)).tolist():
+        keep = tags[r][~mask[r]]
+        tags[r, : len(keep)] = keep
+        tags[r, len(keep):] = -1
+    return removed
+
+
 def lru_flush(tags: np.ndarray) -> int:
     """Empty the whole matrix; returns the number of valid entries."""
     count = int(np.count_nonzero(tags != -1))

@@ -282,7 +282,7 @@ class AddressSpace:
         """Demand-map a batch of unmapped base pages (vectorized).
 
         Equivalent to calling :meth:`demand_map` per vpn in order: the
-        first ``preferred.free_bytes // 4096`` pages land on the
+        first ``preferred.avail_bytes // 4096`` pages land on the
         preferred tier, the remainder fall back to the other tier, and
         the allocation raises :class:`OutOfMemoryError` when both are
         full.  Tier accounting and the numpy mirrors update in bulk; the
@@ -296,13 +296,13 @@ class AddressSpace:
             raise ValueError(f"vpn {bad} already mapped")
         n_pref = min(
             len(vpns),
-            self.tiers.tier(preferred).free_bytes // BASE_PAGE_SIZE,
+            self.tiers.tier(preferred).avail_bytes // BASE_PAGE_SIZE,
         )
         chunks = [(preferred, vpns[:n_pref])]
         rest = vpns[n_pref:]
         if len(rest):
             fallback = preferred.other
-            if self.tiers.tier(fallback).free_bytes // BASE_PAGE_SIZE < len(rest):
+            if self.tiers.tier(fallback).avail_bytes // BASE_PAGE_SIZE < len(rest):
                 raise OutOfMemoryError(
                     f"no tier can hold {len(rest) * BASE_PAGE_SIZE} bytes "
                     f"(fast free={self.tiers.fast.free_bytes}, "

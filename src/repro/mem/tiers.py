@@ -16,7 +16,8 @@ over capacity, and double-frees are detected.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 
 class TierKind(enum.IntEnum):
@@ -88,6 +89,13 @@ class MemoryTier:
     kind: TierKind
     spec: TierSpec
     used_bytes: int = 0
+    #: Optional fault-injection gate (see ``repro.check.faults``).  When
+    #: it fires, the tier *advertises* no available bytes without
+    #: changing real accounting -- admission checks fail, committed
+    #: ``alloc()`` calls still succeed, so check-then-act callers stay
+    #: consistent through an outage.
+    fault_gate: Optional[Callable[[], bool]] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def capacity_bytes(self) -> int:
@@ -98,11 +106,24 @@ class MemoryTier:
         return self.spec.capacity_bytes - self.used_bytes
 
     @property
+    def avail_bytes(self) -> int:
+        """Bytes admission control may promise right now.
+
+        Equal to :attr:`free_bytes` except during an injected
+        allocation outage, when it drops to zero.  Placement decisions
+        (demand paging, promotion, split budgets, collapse admission)
+        must consult this, not ``free_bytes``.
+        """
+        if self.fault_gate is not None and self.fault_gate():
+            return 0
+        return self.free_bytes
+
+    @property
     def utilization(self) -> float:
         return self.used_bytes / self.spec.capacity_bytes
 
     def can_alloc(self, nbytes: int) -> bool:
-        return nbytes <= self.free_bytes
+        return nbytes <= self.avail_bytes
 
     def alloc(self, nbytes: int) -> None:
         if nbytes < 0:

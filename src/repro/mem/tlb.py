@@ -33,7 +33,12 @@ from typing import List, Tuple
 import numpy as np
 
 from repro import kernels
-from repro.kernels.tlb_lru import lru_batch, lru_flush, lru_invalidate
+from repro.kernels.tlb_lru import (
+    lru_batch,
+    lru_flush,
+    lru_invalidate,
+    lru_invalidate_range,
+)
 from repro.mem.page_table import WALK_LEVELS_BASE, WALK_LEVELS_HUGE
 from repro.mem.pages import vpn_to_hpn
 
@@ -131,6 +136,15 @@ class _SetAssocArray:
         except ValueError:
             return False
 
+    def invalidate_range(self, lo: int, hi: int) -> int:
+        """Remove every tag in ``[lo, hi)``; returns the number removed."""
+        removed = 0
+        for s in self.sets:
+            kept = [t for t in s if not lo <= t < hi]
+            removed += len(s) - len(kept)
+            s[:] = kept
+        return removed
+
     def flush(self) -> int:
         count = sum(len(s) for s in self.sets)
         for s in self.sets:
@@ -157,6 +171,9 @@ class _ArraySetAssoc:
 
     def invalidate(self, tag: int) -> bool:
         return lru_invalidate(self.tags, tag)
+
+    def invalidate_range(self, lo: int, hi: int) -> int:
+        return lru_invalidate_range(self.tags, lo, hi)
 
     def flush(self) -> int:
         return lru_flush(self.tags)
@@ -194,6 +211,14 @@ class _ValidatingSetAssoc:
         if ref != got:
             raise AssertionError("TLB kernel invalidate mismatch")
         self._check_state("invalidate")
+        return got
+
+    def invalidate_range(self, lo: int, hi: int) -> int:
+        ref = self.scalar.invalidate_range(lo, hi)
+        got = self.array.invalidate_range(lo, hi)
+        if ref != got:
+            raise AssertionError("TLB kernel invalidate_range mismatch")
+        self._check_state("invalidate_range")
         return got
 
     def flush(self) -> int:
@@ -277,6 +302,23 @@ class TLB:
     def shootdown_huge_many(self, hpns: np.ndarray) -> None:
         for hpn in np.asarray(hpns).tolist():
             self.shootdown_huge(int(hpn))
+
+    def shootdown_range(self, base_vpn: int, num_vpns: int) -> None:
+        """Invalidate every entry covering ``[base_vpn, base_vpn+num_vpns)``.
+
+        Used on region free (munmap): both the 4K entries of the range
+        and any 2M entry of a slot it overlaps must go -- a stale
+        translation surviving a free would hit on a recycled mapping.
+        Accounted as a single shootdown (one ranged IPI).
+        """
+        if num_vpns <= 0:
+            return
+        self.stats.shootdowns += 1
+        removed = self._tlb_4k.invalidate_range(base_vpn, base_vpn + num_vpns)
+        lo_hpn = vpn_to_hpn(base_vpn)
+        hi_hpn = vpn_to_hpn(base_vpn + num_vpns - 1) + 1
+        removed += self._tlb_2m.invalidate_range(lo_hpn, hi_hpn)
+        self.stats.invalidated_entries += removed
 
     def flush(self) -> None:
         self.stats.shootdowns += 1

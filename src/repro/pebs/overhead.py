@@ -40,10 +40,14 @@ class SamplingPeriodController:
     """EMA + hysteresis controller for the PEBS periods (paper §4.1.1).
 
     Parameters mirror the paper: usage capped at ``limit`` (3% of a
-    core); the period is only adjusted when the EMA usage leaves the
-    ``limit ± hysteresis`` band (0.5%).  Adjustment is a proportional
-    step on both periods, clamped to ``[min_..., max_...]``; the observed
-    range in the paper is 200..1400 for loads.
+    core).  Capping is asymmetric: any EMA usage above the limit shrinks
+    the sampling rate immediately (the 3% budget is a hard bound the
+    daemon must not sit over), while growing back requires the EMA to
+    fall ``hysteresis`` (0.5%) below the limit -- the dead band that
+    prevents continual updates sits entirely on the grow side.
+    Adjustment is a proportional step on both periods, clamped to
+    ``[min_..., max_...]``; the observed range in the paper is 200..1400
+    for loads (§6.3.5).
     """
 
     def __init__(
@@ -99,7 +103,8 @@ class SamplingPeriodController:
         )
 
         new_load, new_store = load_period, store_period
-        if self.ema_usage > self.limit + self.hysteresis:
+        # Over the limit at all -> shrink; hysteresis only delays growth.
+        if self.ema_usage > self.limit:
             new_load = min(
                 self.max_load_period,
                 max(load_period + 1, int(load_period * (1 + self.step_fraction))),

@@ -64,6 +64,10 @@ class PEBSSampler:
         self.total_samples = 0
         self.total_events = 0
         self.dropped_samples = 0
+        #: Optional fault-injection hook (``repro.check.faults``): maps
+        #: ``(vpn, is_store) -> (vpn, is_store)``, dropping/duplicating
+        #: records after every-Nth selection and buffer accounting.
+        self.fault_hook = None
 
     @property
     def load_period(self) -> int:
@@ -130,5 +134,9 @@ class PEBSSampler:
                 self.tracer.emit("sample", "buffer_overflow", WARN,
                                  dropped=dropped)
 
-        self.total_samples += len(positions)
-        return SampleBatch(batch.vpn[positions], batch.is_store[positions])
+        vpn = batch.vpn[positions]
+        is_store = batch.is_store[positions]
+        if self.fault_hook is not None:
+            vpn, is_store = self.fault_hook(vpn, is_store)
+        self.total_samples += len(vpn)
+        return SampleBatch(vpn, is_store)

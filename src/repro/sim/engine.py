@@ -26,6 +26,7 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro.check.invariants import Sanitizer, resolve_check_level
 from repro.mem.address_space import AddressSpace, Region
 from repro.mem.migration import MigrationEngine, MigrationStats
 from repro.mem.tiers import TieredMemory, TierKind
@@ -186,6 +187,8 @@ class Simulation:
         force_base_pages: bool = False,
         validate_every: int = 0,
         obs: Optional[Observability] = None,
+        check=None,
+        faults=None,
     ):
         self.workload = workload
         self.policy = policy
@@ -238,6 +241,24 @@ class Simulation:
         )
         policy.bind(self.ctx)
 
+        #: Invariant sanitizer (``repro.check``): an explicit ``check``
+        #: level wins, otherwise ``REPRO_CHECK`` decides -- resolving
+        #: here means the env var covers every Simulation anywhere
+        #: (tests, sweeps, ad-hoc scripts) without plumbing.
+        self.sanitizer = Sanitizer(
+            resolve_check_level(check),
+            space=self.space,
+            tiers=self.tiers,
+            tlb=self.tlb,
+            policy=policy,
+            tracer=self.obs.tracer,
+            counters=self.obs.counters,
+        )
+        #: Optional fault injector (``repro.check.faults``).
+        self.faults = faults
+        if faults is not None:
+            faults.bind(tiers=self.tiers, sampler=sampler)
+
     # -- event handling ------------------------------------------------------
 
     def _handle_alloc(self, event: AllocEvent) -> None:
@@ -260,6 +281,9 @@ class Simulation:
         if region is None:
             raise KeyError(f"free of unknown region {event.key!r}")
         self.space.free_region(region)
+        # munmap semantics: no translation for the freed range may
+        # survive, or a stale entry would hit on a recycled mapping.
+        self.tlb.shootdown_range(region.base_vpn, region.num_vpns)
 
     def _rebase(self, event: AccessEvent) -> AccessBatch:
         parts = []
@@ -284,6 +308,10 @@ class Simulation:
         if n == 0:
             return
         space = self.space
+        if self.faults is not None:
+            # Freeze this batch's fault pulses up front so every
+            # admission query within the batch sees one answer.
+            self.faults.begin_batch()
         space.record_touch(batch.vpn)
         tracer = self.obs.tracer
         if tracer.enabled:
@@ -375,11 +403,13 @@ class Simulation:
             tracer.now_ns = self.now_ns
 
         t0 = time.perf_counter_ns()
-        self.policy.on_tick(self.now_ns)
+        if self.faults is None or not self.faults.suppress_tick():
+            self.policy.on_tick(self.now_ns)
         self._phase_ns["policy_ns"] += time.perf_counter_ns() - t0
         self._batches_processed += 1
         if self.validate_every and self._batches_processed % self.validate_every == 0:
             space.check_consistency()
+        self.sanitizer.after_batch(self.now_ns)
         if self.metrics.maybe_snapshot(
             self.now_ns,
             rss_bytes=space.rss_bytes,
@@ -399,6 +429,7 @@ class Simulation:
             )
         self._epoch_index += 1
         self._epoch_start_ns = self.now_ns
+        self.sanitizer.after_epoch(self.now_ns)
 
     # -- driver ------------------------------------------------------------------
 
@@ -426,6 +457,7 @@ class Simulation:
             policy_stats_fn=self.policy.stats,
         ):
             self._close_epoch()
+        self.sanitizer.at_end(self.now_ns)
         wall_seconds = time.perf_counter() - wall_start
 
         sampler_stats: Dict[str, float] = {}

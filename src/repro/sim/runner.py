@@ -47,7 +47,10 @@ from repro.workloads.registry import make_workload
 #: Bump when engine/policy changes alter simulation results: old cache
 #: entries become unreachable without deleting the cache directory.
 #: v3: guaranteed tail metrics snapshot + observability summary field.
-SPEC_SCHEMA_VERSION = 3
+#: v4: kmigrated bookkeeping fixes (split_hpns leak, collapse admission,
+#: promotion skip), asymmetric period controller, free-path TLB
+#: shootdowns.
+SPEC_SCHEMA_VERSION = 4
 
 #: Machine variants a spec can request (see :meth:`MachineSpec.all_capacity`).
 MACHINE_VARIANTS = ("tiered", "all-capacity", "all-fast")
@@ -108,8 +111,18 @@ class RunSpec:
     max_accesses: Optional[int] = None
     machine_variant: str = "tiered"
     force_base_pages: bool = False
+    #: Invariant-sanitizer level for this run (``repro.check``): one of
+    #: ``None``/"off", "end", "epoch", "strict".  Not part of the cache
+    #: identity -- checks observe, they never change results -- but a
+    #: checked spec always executes (a cache hit would check nothing).
+    check: Optional[str] = None
 
     def __post_init__(self):
+        if self.check not in (None, "off", "end", "epoch", "strict"):
+            raise ValueError(
+                f"unknown check level {self.check!r}; expected one of "
+                "off/end/epoch/strict"
+            )
         if self.scale is None:
             object.__setattr__(self, "scale", DEFAULT_SCALE)
         if not isinstance(self.policy_kwargs, _FrozenDict):
@@ -155,15 +168,23 @@ class RunSpec:
     def policy_kwargs_dict(self) -> Dict[str, Any]:
         return self.policy_kwargs.thaw()
 
+    @property
+    def check_requested(self) -> bool:
+        """True when this spec asks for sanitizer coverage (must execute)."""
+        return self.check in ("end", "epoch", "strict")
+
     # -- execution ---------------------------------------------------------
 
-    def build(self, obs=None) -> Simulation:
+    def build(self, obs=None, faults=None) -> Simulation:
         """Construct the :class:`Simulation` this spec describes.
 
         ``obs`` optionally supplies a pre-configured
         :class:`repro.obs.Observability` (e.g. with tracing enabled);
-        it is not part of the spec identity -- tracing never changes
-        simulation results.
+        ``faults`` an optional :class:`repro.check.FaultInjector`.
+        Neither is part of the spec identity -- tracing and checking
+        never change simulation results (fault injection does, which is
+        why injected runs are never cached: they only flow through
+        ``build()``, not ``run()``).
         """
         workload = make_workload(self.workload, self.scale)
         machine = MachineSpec.from_ratio(
@@ -178,6 +199,7 @@ class RunSpec:
         return Simulation(
             workload, policy, machine, seed=self.seed,
             force_base_pages=self.force_base_pages, obs=obs,
+            check=self.check, faults=faults,
         )
 
     def run(self, cache=result_cache.DEFAULT) -> SimResult:
@@ -186,9 +208,11 @@ class RunSpec:
         ``cache`` follows :func:`repro.sim.cache.resolve_cache`:
         ``"default"`` uses the process-wide cache, ``None`` disables
         caching, a :class:`~repro.sim.cache.ResultCache` is used as-is.
+        A spec with checks requested skips cache *lookup* (the point is
+        to run the sanitizer) but still publishes its result.
         """
         cache = result_cache.resolve_cache(cache)
-        if cache is not None:
+        if cache is not None and not self.check_requested:
             hit = cache.get(self)
             if hit is not None:
                 # A cached result did no simulation work: replaying the
@@ -216,6 +240,7 @@ class RunSpec:
             "max_accesses": self.max_accesses,
             "machine_variant": self.machine_variant,
             "force_base_pages": self.force_base_pages,
+            "check": self.check,
         }
 
     @classmethod
@@ -228,9 +253,13 @@ class RunSpec:
 
     def cache_key(self) -> str:
         """Deterministic content hash for the persistent result cache."""
+        payload_dict = {"schema": SPEC_SCHEMA_VERSION, **self.to_dict()}
+        # Sanitizer checks observe without changing results: a checked
+        # run produces (and may serve) the same cache entry as the
+        # unchecked spec.
+        payload_dict.pop("check")
         payload = json.dumps(
-            {"schema": SPEC_SCHEMA_VERSION, **self.to_dict()},
-            sort_keys=True, separators=(",", ":"),
+            payload_dict, sort_keys=True, separators=(",", ":"),
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 

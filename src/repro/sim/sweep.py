@@ -273,7 +273,14 @@ def run_sweep(
 
     pending: List[RunSpec] = []
     for spec in ordered:
-        hit = cache.get(spec) if cache is not None else None
+        # Checked specs must execute: a cache hit would skip the
+        # sanitizer entirely (checks never change results, so executed
+        # cells still publish into the shared cache entry).
+        hit = (
+            cache.get(spec)
+            if cache is not None and not spec.check_requested
+            else None
+        )
         if hit is not None:
             completed += 1
             # Mirror RunSpec.run(): a cached cell did no simulation

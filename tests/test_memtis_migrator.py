@@ -213,3 +213,148 @@ class TestCollapse:
         ks.meta.sub_count[head + 5] = 0  # one cold subpage
         km.tick(now_ns=1e9)
         assert km.collapses_done == 0
+
+
+class TestBookkeepingRegressions:
+    """The kmigrated bookkeeping bugs the invariant sanitizer caught."""
+
+    def test_skipped_split_entry_discarded(self, ctx):
+        # A queued hpn whose page is no longer huge (raced with a free)
+        # must leave split_hpns too -- a leaked entry permanently blocks
+        # consider_split from ever re-queueing that slot.
+        ks, km = build(ctx)
+        region = alloc(ctx, ks, 2, TierKind.FAST)
+        hpn = region.base_vpn >> 9
+        km.split_queue.append(hpn)
+        km.split_hpns.add(hpn)
+        ctx.space.free_region(region)
+        km._process_split_queue()
+        assert km.split_queue == []
+        assert hpn not in km.split_hpns
+
+    def test_sanitizer_catches_leaked_split_entry(self, ctx):
+        from types import SimpleNamespace
+
+        from repro.check import InvariantViolation, Sanitizer
+
+        ks, km = build(ctx)
+        region = alloc(ctx, ks, 2, TierKind.FAST)
+        hpn = region.base_vpn >> 9
+        # The pre-fix end state: huge-mapped slot tracked as split but
+        # not queued -- exactly what the leak left behind.
+        km.split_hpns.add(hpn)
+        san = Sanitizer(
+            "strict", space=ctx.space, tiers=ctx.tiers,
+            policy=SimpleNamespace(ksampled=ks, kmigrated=km),
+        )
+        with pytest.raises(InvariantViolation) as exc:
+            san.run_checks()
+        assert any(f.check == "split-bookkeeping"
+                   for f in exc.value.findings)
+
+    def test_on_unmap_drops_split_bookkeeping(self, ctx):
+        ks, km = build(ctx)
+        region = alloc(ctx, ks, 4, TierKind.FAST)
+        hpns = [(region.base_vpn >> 9), (region.base_vpn >> 9) + 1]
+        km.split_queue.extend(hpns)
+        km.split_hpns.update(hpns)
+        km.on_unmap(region.base_vpn, region.num_vpns)
+        assert km.split_queue == []
+        assert km.split_hpns == set()
+
+    def test_collapse_fires_near_full_fast_tier(self, ctx):
+        from repro.mem.pages import HUGE_PAGE_SIZE
+
+        ks, km = build(ctx, enable_collapse=True)
+        # Fill the 16 MiB fast tier completely: 14 MiB of other data
+        # plus the 2 MiB split range itself.
+        alloc(ctx, ks, 14, TierKind.FAST)
+        region = alloc(ctx, ks, 2, TierKind.FAST)
+        head = region.base_vpn
+        hpn = head >> 9
+        ctx.space.record_touch(np.arange(head, head + SUBPAGES_PER_HUGE))
+        ctx.space.split_huge(hpn, [TierKind.FAST] * SUBPAGES_PER_HUGE)
+        ks.on_split(hpn, np.ones(SUBPAGES_PER_HUGE, dtype=bool))
+        km.split_hpns.add(hpn)
+        ks.meta.sub_count[head : head + SUBPAGES_PER_HUGE] = 64
+        assert ctx.tiers.fast.free_bytes < HUGE_PAGE_SIZE
+        # The collapse returns the resident subpages' bytes before the
+        # huge mapping allocates, so zero extra free space is needed.
+        km._maybe_collapse()
+        assert km.collapses_done == 1
+        assert ctx.space.page_huge[head]
+        ctx.space.check_consistency()
+
+    def test_collapse_still_blocked_when_subpages_on_capacity(self, ctx):
+        # With every subpage on the capacity tier the collapse really
+        # does need a full free 2 MiB on fast; near-full must refuse.
+        ks, km = build(ctx, enable_collapse=True)
+        alloc(ctx, ks, 15, TierKind.FAST)
+        region = alloc(ctx, ks, 2, TierKind.CAPACITY)
+        head = region.base_vpn
+        hpn = head >> 9
+        ctx.space.record_touch(np.arange(head, head + SUBPAGES_PER_HUGE))
+        ctx.space.split_huge(hpn, [TierKind.CAPACITY] * SUBPAGES_PER_HUGE)
+        ks.on_split(hpn, np.ones(SUBPAGES_PER_HUGE, dtype=bool))
+        km.split_hpns.add(hpn)
+        ks.meta.sub_count[head : head + SUBPAGES_PER_HUGE] = 64
+        km._maybe_collapse()
+        assert km.collapses_done == 0
+        assert not ctx.space.page_huge[head]
+
+    def test_promotion_skips_oversized_huge_page(self, ctx):
+        # A huge page that cannot fit even after demotion must not block
+        # hotter-than-threshold base pages behind it in the order.
+        ks, km = build(ctx)
+        # Fast tier: 14 MiB of maximally hot pages (nothing demotable
+        # under the strictly-colder rule) plus 1 MiB occupied directly
+        # on the tier (regions are 2 MiB-granular; this stands in for
+        # sub-region fragmentation) -- room for base pages but not for
+        # a 2 MiB huge page.
+        fill = alloc(ctx, ks, 14, TierKind.FAST)
+        ctx.tiers.fast.alloc(1 * MB)
+        fill_heads = np.arange(
+            fill.base_vpn, fill.end_vpn, SUBPAGES_PER_HUGE
+        )
+        ks.main_bin[fill_heads] = 15
+        huge = alloc(ctx, ks, 2, TierKind.CAPACITY)
+        basereg = alloc(ctx, ks, 2, TierKind.CAPACITY, thp=False)
+        base_vpns = [basereg.base_vpn, basereg.base_vpn + 1]
+        ks.thresholds = type(ks.thresholds)(hot=10, warm=5, cold=3)
+        ks.main_bin[huge.base_vpn] = 15   # hottest: tried first
+        for v in base_vpns:
+            ks.main_bin[v] = 14
+        ks.promotion_queue.update([huge.base_vpn, *base_vpns])
+        km._promote()
+        # The huge page stayed queued on capacity; the base pages behind
+        # it were promoted anyway (pre-fix the loop broke at the huge
+        # page and never reached them).
+        assert ctx.space.page_tier[huge.base_vpn] == int(TierKind.CAPACITY)
+        assert huge.base_vpn in ks.promotion_queue
+        for v in base_vpns:
+            assert ctx.space.page_tier[v] == int(TierKind.FAST)
+            assert v not in ks.promotion_queue
+
+    def test_promotion_skip_budget_bounds_work(self, ctx):
+        # More oversized candidates than MAX_PROMOTE_SKIPS: the loop
+        # gives up after the budget instead of scanning the whole queue.
+        ks, km = build(ctx)
+        fill = alloc(ctx, ks, 16, TierKind.FAST)  # fast tier full
+        fill_heads = np.arange(
+            fill.base_vpn, fill.end_vpn, SUBPAGES_PER_HUGE
+        )
+        ks.main_bin[fill_heads] = 15
+        huge = alloc(ctx, ks, 20, TierKind.CAPACITY)
+        huge_heads = np.arange(
+            huge.base_vpn, huge.end_vpn, SUBPAGES_PER_HUGE
+        )
+        ks.thresholds = type(ks.thresholds)(hot=10, warm=5, cold=3)
+        ks.main_bin[huge_heads] = 15
+        ks.promotion_queue.update(huge_heads.tolist())
+        km._promote()
+        # Nothing fit, nothing was dropped from the queue.
+        assert len(ks.promotion_queue) == len(huge_heads)
+        assert all(
+            ctx.space.page_tier[h] == int(TierKind.CAPACITY)
+            for h in huge_heads
+        )

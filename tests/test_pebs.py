@@ -122,10 +122,39 @@ class TestPeriodController:
         assert load < 250
 
     def test_hysteresis_prevents_flapping(self):
+        # The dead band sits on the grow side only: [limit - hyst, limit]
+        # leaves the periods alone in both directions.
         ctl = self.make()
-        load, store = ctl.update(0.032, 400, 200_000)  # inside the band
+        load, store = ctl.update(0.027, 400, 200_000)  # inside the band
         assert (load, store) == (400, 200_000)
         assert ctl.adjustments == 0
+        load, store = ctl.update(0.0299, 400, 200_000)
+        assert (load, store) == (400, 200_000)
+        assert ctl.adjustments == 0
+
+    def test_shrinks_anywhere_above_limit(self):
+        # Asymmetric capping: 3% is a hard budget, so usage barely over
+        # the limit (but under limit + hysteresis) must already shrink
+        # the sampling rate.
+        ctl = self.make()
+        load, store = ctl.update(0.032, 400, 200_000)
+        assert load > 400
+        assert store > 200_000
+        assert ctl.adjustments == 1
+
+    def test_band_edges(self):
+        # Exactly at the limit: no change (shrink needs usage > limit).
+        ctl = self.make()
+        assert ctl.update(0.03, 400, 200_000) == (400, 200_000)
+        # Exactly at limit - hysteresis: no growth yet (needs strictly
+        # below the band floor).
+        ctl = self.make()
+        assert ctl.update(0.025, 400, 200_000) == (400, 200_000)
+        # Just below the floor: grows.
+        ctl = self.make()
+        load, store = ctl.update(0.0249, 400, 200_000)
+        assert load < 400
+        assert store < 200_000
 
     def test_clamped_to_paper_range(self):
         ctl = self.make()
