@@ -32,7 +32,7 @@ from repro.check.invariants import (
     parse_check_level,
     resolve_check_level,
 )
-from repro.check.faults import FaultConfig, FaultInjector
+from repro.check.faults import FaultConfig, FaultInjector, SimulationKilled
 
 __all__ = [
     "CheckContext",
@@ -42,6 +42,7 @@ __all__ = [
     "Finding",
     "InvariantViolation",
     "Sanitizer",
+    "SimulationKilled",
     "check_level_from_env",
     "parse_check_level",
     "resolve_check_level",

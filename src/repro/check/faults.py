@@ -39,6 +39,16 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 
+class SimulationKilled(RuntimeError):
+    """Raised by the kill-at-epoch injector to abort a run mid-flight.
+
+    An ordinary :class:`Exception` subclass on purpose: the sweep
+    executor converts it into a failed cell attempt, which is exactly
+    how a worker crash surfaces -- the retry path then resumes from the
+    last epoch checkpoint.
+    """
+
+
 @dataclass(frozen=True)
 class FaultConfig:
     """Probabilities for each injector (0.0 disables it)."""
@@ -52,6 +62,11 @@ class FaultConfig:
     alloc_fail_prob: float = 0.0
     #: Per-batch probability the policy tick is delayed to a later batch.
     tick_delay_prob: float = 0.0
+    #: Abort the run (raise :class:`SimulationKilled`) when this many
+    #: epochs have completed -- a deterministic "worker died here" for
+    #: checkpoint/resume chaos tests.  Consumes no RNG draws, so the
+    #: fault schedule with and without a kill is identical.
+    kill_at_epoch: Optional[int] = None
 
     def __post_init__(self):
         for name in ("drop_sample_prob", "dup_sample_prob",
@@ -59,11 +74,16 @@ class FaultConfig:
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {p!r}")
+        if self.kill_at_epoch is not None and self.kill_at_epoch < 1:
+            raise ValueError(
+                f"kill_at_epoch must be >= 1, got {self.kill_at_epoch!r}"
+            )
 
     @property
     def active(self) -> bool:
         return (self.drop_sample_prob > 0 or self.dup_sample_prob > 0
-                or self.alloc_fail_prob > 0 or self.tick_delay_prob > 0)
+                or self.alloc_fail_prob > 0 or self.tick_delay_prob > 0
+                or self.kill_at_epoch is not None)
 
 
 class FaultInjector:
@@ -79,6 +99,7 @@ class FaultInjector:
             "duplicated_samples": 0,
             "alloc_outage_batches": 0,
             "delayed_ticks": 0,
+            "kills": 0,
         }
 
     # -- wiring ------------------------------------------------------------
@@ -107,6 +128,21 @@ class FaultInjector:
     def fast_alloc_blocked(self) -> bool:
         """Tier fault gate: is the fast tier refusing admission right now?"""
         return self._alloc_blocked
+
+    def on_epoch(self, epoch_index: int) -> None:
+        """Engine hook fired after each epoch closes (checkpoint taken).
+
+        Raises :class:`SimulationKilled` exactly at ``kill_at_epoch``.
+        The engine captures the epoch's checkpoint *before* calling this,
+        so a killed run always has a checkpoint at the kill epoch to
+        resume from; restored runs are already past it and do not re-die.
+        """
+        if (self.config.kill_at_epoch is not None
+                and epoch_index == self.config.kill_at_epoch):
+            self.stats["kills"] += 1
+            raise SimulationKilled(
+                f"fault injection: run killed at epoch {epoch_index}"
+            )
 
     def suppress_tick(self) -> bool:
         """Engine hook: should this batch's policy tick be delayed?"""
@@ -146,3 +182,21 @@ class FaultInjector:
                 vpn = np.repeat(vpn, reps)
                 is_store = np.repeat(is_store, reps)
         return vpn, is_store
+
+    # -- checkpoint support --------------------------------------------------
+    # ``bind()`` wires live callables and is re-run at construction time;
+    # only the RNG position, frozen batch pulses and stats persist.
+
+    def state_dict(self) -> dict:
+        return {
+            "rng": self.rng.bit_generator.state,
+            "alloc_blocked": self._alloc_blocked,
+            "tick_suppressed": self._tick_suppressed,
+            "stats": dict(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.rng.bit_generator.state = state["rng"]
+        self._alloc_blocked = bool(state["alloc_blocked"])
+        self._tick_suppressed = bool(state["tick_suppressed"])
+        self.stats.update(state["stats"])

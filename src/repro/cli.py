@@ -7,6 +7,8 @@ Commands:
                   per-cell structured traces, ``--counters`` dumps the
                   observability counter registry;
 * ``list``     -- available workloads, policies, experiments;
+* ``snapshots``-- list/inspect epoch checkpoints written by
+                  ``run --snapshot-every N`` (resume with ``--resume``);
 * ``trace``    -- with ``--out``, run one configuration with structured
                   tracing enabled and export the events (Chrome
                   ``trace_event`` / JSONL / ASCII); legacy
@@ -25,6 +27,7 @@ import sys
 from repro.analysis.tables import format_table
 from repro.experiments.__main__ import add_execution_args, apply_execution_args
 from repro.experiments.common import EXPERIMENT_REGISTRY
+from repro import snapshot
 from repro.obs.tracer import CATEGORIES
 from repro.policies.registry import policy_names
 from repro.sim import cache as result_cache
@@ -88,9 +91,14 @@ def cmd_run(args) -> int:
     apply_execution_args(args)
     print(f"running {args.policy} on {args.workload} "
           f"@ {args.ratio} ({kind}) ...")
+    if args.snapshot_dir:
+        # Via the environment (not snapshot.configure) so sweep worker
+        # processes resolve the same store.
+        os.environ["REPRO_SNAPSHOT_DIR"] = args.snapshot_dir
     spec = RunSpec(args.workload, args.policy, ratio=args.ratio,
                    capacity_kind=kind, scale=scale, seed=args.seed,
-                   check=args.check)
+                   check=args.check, snapshot_every=args.snapshot_every,
+                   resume=args.resume)
     trace = _trace_config(args) if args.trace is not None else None
     # The sweep executor runs the policy and its baseline in parallel
     # with --jobs 2, and serves both from the persistent cache on
@@ -117,6 +125,13 @@ def cmd_run(args) -> int:
           f"({timing['wall_total_s']:.2f}s wall, "
           f"mean {timing['wall_mean_s']:.2f}s), "
           f"{timing['cached']} cached, {timing['failed']} failed")
+    if spec.snapshot_every > 0 or spec.resume:
+        store = snapshot.resolve_store(snapshot.DEFAULT)
+        if store is not None:
+            epochs = store.epochs(spec)
+            print(f"checkpoints: {store.spec_dir(spec.cache_key())} "
+                  f"({len(epochs)} stored, latest epoch "
+                  f"{epochs[-1] if epochs else '-'})")
     if trace is not None:
         for s in specs:
             tag = " [from cache: no events]" if outcomes[s].from_cache else ""
@@ -127,6 +142,65 @@ def cmd_run(args) -> int:
             ["counter", "value"],
             [[name, f"{value}"] for name, value in sorted(counters.items())],
         ))
+    return 0
+
+
+def cmd_snapshots(args) -> int:
+    """List or inspect stored epoch checkpoints (sidecar manifests only)."""
+    store = (snapshot.SnapshotStore(args.dir) if args.dir
+             else snapshot.resolve_store(snapshot.DEFAULT))
+    if store is None:
+        print("snapshot store disabled", file=sys.stderr)
+        return 2
+    manifests = store.manifests()
+    if args.action == "list":
+        if not manifests:
+            print(f"no checkpoints under {store.directory}")
+            return 0
+        by_key = {}
+        for m in manifests:
+            by_key.setdefault(m.get("spec_key", "?"), []).append(m)
+        rows = []
+        for key, entries in sorted(by_key.items()):
+            spec = entries[-1].get("spec", {})
+            rows.append([
+                key[:16],
+                spec.get("workload", "?"),
+                spec.get("policy", "?"),
+                spec.get("ratio", "?"),
+                str(len(entries)),
+                str(entries[-1].get("epoch", "?")),
+                str(entries[-1].get("events_consumed", "?")),
+            ])
+        print(format_table(
+            ["key", "workload", "policy", "ratio", "checkpoints",
+             "latest epoch", "events"], rows,
+        ))
+        return 0
+    # inspect: match a (possibly abbreviated) spec key
+    matches = sorted({
+        m["spec_key"] for m in manifests
+        if m.get("spec_key", "").startswith(args.key)
+    })
+    if not matches:
+        print(f"no checkpoints matching key {args.key!r} "
+              f"under {store.directory}", file=sys.stderr)
+        return 2
+    if len(matches) > 1:
+        print(f"ambiguous key {args.key!r}: matches "
+              + ", ".join(k[:16] for k in matches), file=sys.stderr)
+        return 2
+    selected = [m for m in manifests if m["spec_key"] == matches[0]]
+    if args.epoch is not None:
+        selected = [m for m in selected if m.get("epoch") == args.epoch]
+        if not selected:
+            print(f"no checkpoint at epoch {args.epoch}", file=sys.stderr)
+            return 2
+    else:
+        selected = [selected[-1]]  # latest
+    import json as _json
+
+    print(_json.dumps(selected[0], indent=2, sort_keys=True))
     return 0
 
 
@@ -222,6 +296,16 @@ def main(argv=None) -> int:
                        help="run the invariant sanitizer (bare --check = "
                             "strict: every batch; checked runs always "
                             "execute instead of hitting the cache)")
+    p_run.add_argument("--snapshot-every", type=int, default=0, metavar="N",
+                       help="checkpoint the full simulator state every N "
+                            "epochs (0 = never); resumable with --resume")
+    p_run.add_argument("--resume", action="store_true",
+                       help="resume from the latest stored checkpoint for "
+                            "this configuration (bit-identical to an "
+                            "uninterrupted run)")
+    p_run.add_argument("--snapshot-dir", metavar="DIR",
+                       help="checkpoint store location (default: "
+                            "$REPRO_SNAPSHOT_DIR or <cache_dir>/snapshots)")
     p_run.add_argument("--events", metavar="CATS",
                        help="comma-separated trace categories "
                             f"({','.join(CATEGORIES)})")
@@ -233,6 +317,25 @@ def main(argv=None) -> int:
 
     p_list = sub.add_parser("list", help="list workloads/policies/experiments")
     p_list.set_defaults(fn=cmd_list)
+
+    p_snap = sub.add_parser(
+        "snapshots", help="list/inspect stored epoch checkpoints"
+    )
+    snap_sub = p_snap.add_subparsers(dest="action", required=True)
+    p_snap_list = snap_sub.add_parser("list", help="one row per spec")
+    p_snap_list.add_argument("--dir", metavar="DIR",
+                             help="checkpoint store (default: "
+                                  "$REPRO_SNAPSHOT_DIR or "
+                                  "<cache_dir>/snapshots)")
+    p_snap_list.set_defaults(fn=cmd_snapshots)
+    p_snap_inspect = snap_sub.add_parser(
+        "inspect", help="print one checkpoint's manifest as JSON"
+    )
+    p_snap_inspect.add_argument("key", help="spec key (prefix ok)")
+    p_snap_inspect.add_argument("--epoch", type=int, default=None,
+                                help="epoch number (default: latest)")
+    p_snap_inspect.add_argument("--dir", metavar="DIR")
+    p_snap_inspect.set_defaults(fn=cmd_snapshots)
 
     p_trace = sub.add_parser(
         "trace",

@@ -31,10 +31,20 @@ def bin_of(hotness: int) -> int:
 
 
 def bin_of_array(hotness: np.ndarray) -> np.ndarray:
-    """Vectorised :func:`bin_of` for int64 hotness arrays."""
-    h = np.maximum(hotness, 1)
-    bins = np.floor(np.log2(h)).astype(np.int64)
-    return np.clip(bins, 0, _TOP)
+    """Vectorised :func:`bin_of` for int64 hotness arrays.
+
+    Exact integer binning (``bit_length - 1``) via binary-search shifts.
+    The float path (``floor(log2(h))``) rounds ``2^k - 1`` up to ``k``
+    once ``k`` exceeds the 53-bit mantissa, disagreeing with the scalar
+    :func:`bin_of` at power-of-two boundaries.
+    """
+    h = np.maximum(hotness, 1).astype(np.int64)
+    bins = np.zeros(h.shape, dtype=np.int64)
+    for shift in (32, 16, 8, 4, 2, 1):
+        big = h >= (np.int64(1) << shift)
+        bins[big] += shift
+        h[big] >>= shift
+    return np.minimum(bins, _TOP)
 
 
 class AccessHistogram:
@@ -100,3 +110,11 @@ class AccessHistogram:
 
     def snapshot(self) -> np.ndarray:
         return self.bins.copy()
+
+    # -- checkpoint support -------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"bins": self.bins.copy()}
+
+    def load_state(self, state: dict) -> None:
+        self.bins[:] = np.asarray(state["bins"], dtype=np.int64)

@@ -133,6 +133,11 @@ def choose_split_candidates(
     eligible = (util > 0) & (util < SUBPAGES_PER_HUGE)
     if not eligible.any():
         return []
-    order = np.argsort(-skew)
+    # Stable ordering: skewness descending, hpn ascending on ties.
+    # ``np.argsort(-skew)`` is introsort (unstable): equal-skew huge
+    # pages would be picked in a platform/numpy-version-dependent order,
+    # which poisons checkpoint replay determinism.  ``lexsort`` is a
+    # stable mergesort; its *last* key is the primary one.
+    order = np.lexsort((np.asarray(hpns, dtype=np.int64), -skew))
     picked = [int(hpns[i]) for i in order if eligible[i]][:n_splits]
     return picked

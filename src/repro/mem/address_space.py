@@ -19,6 +19,7 @@ suite cross-checks them.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -413,6 +414,61 @@ class AddressSpace:
             self._unmap_base(base + sub)
         self._map_huge(hpn, tier)
         return moved
+
+    # -- checkpoint support ----------------------------------------------------
+
+    def region_by_id(self, region_id: int) -> Region:
+        """Live region object with id ``region_id`` (checkpoint rewiring)."""
+        return self._regions[region_id]
+
+    def state_dict(self) -> dict:
+        """Serialisable mapping state.
+
+        The radix page table is *not* serialised: the numpy mirrors are a
+        complete description of every mapping, and :meth:`load_state`
+        rebuilds the table from them (``check_consistency`` cross-checks
+        the two, so a checkpoint can never resurrect a drifted table).
+        """
+        return {
+            "page_tier": self.page_tier.copy(),
+            "page_huge": self.page_huge.copy(),
+            "touched": self.touched.copy(),
+            "ref_bit": self.ref_bit.copy(),
+            "regions": [dataclasses.asdict(r) for r in self._regions.values()],
+            "next_region_id": self._next_region_id,
+            "bump_vpn": self._bump_vpn,
+            "recycle": {size: list(bases) for size, bases in self._recycle.items()},
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output.
+
+        Tier byte accounting is restored separately by
+        ``TieredMemory.load_state`` (before this runs), so the page table
+        is rebuilt directly on the table object rather than through the
+        allocating ``_map_*`` helpers.  Unmap listeners are live callables
+        rewired at construction and are left untouched.
+        """
+        self.page_tier[:] = np.asarray(state["page_tier"], dtype=np.int8)
+        self.page_huge[:] = np.asarray(state["page_huge"], dtype=bool)
+        self.touched[:] = np.asarray(state["touched"], dtype=bool)
+        self.ref_bit[:] = np.asarray(state["ref_bit"], dtype=bool)
+        self._regions = {
+            d["region_id"]: Region(**d) for d in state["regions"]
+        }
+        self._next_region_id = int(state["next_region_id"])
+        self._bump_vpn = int(state["bump_vpn"])
+        self._recycle = {
+            int(size): list(bases) for size, bases in state["recycle"].items()
+        }
+        self.page_table = PageTable()
+        huge_heads = np.flatnonzero(self.page_huge[::SUBPAGES_PER_HUGE])
+        for hpn in huge_heads.tolist():
+            base = hpn_to_vpn(int(hpn))
+            self.page_table.map_huge(base, TierKind(int(self.page_tier[base])))
+        base_vpns = np.flatnonzero((self.page_tier >= 0) & ~self.page_huge)
+        for vpn in base_vpns.tolist():
+            self.page_table.map_base(int(vpn), TierKind(int(self.page_tier[vpn])))
 
     # -- consistency (used by tests) -------------------------------------------
 

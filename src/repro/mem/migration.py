@@ -20,6 +20,7 @@ absorb them into daemon budget only.  This split is the paper's central
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -85,6 +86,17 @@ class MigrationEngine:
         self.tlb = tlb
         self.params = params
         self.stats = MigrationStats()
+
+    # -- checkpoint support ------------------------------------------------
+    # Cumulative stats are the engine's only mutable state; ``space``,
+    # ``tlb`` and ``params`` are wired references checkpointed elsewhere.
+
+    def state_dict(self) -> dict:
+        return {"stats": dataclasses.asdict(self.stats)}
+
+    def load_state(self, state: dict) -> None:
+        for key, value in state["stats"].items():
+            setattr(self.stats, key, value)
 
     # -- helpers ----------------------------------------------------------
 

@@ -145,6 +145,16 @@ class MemoryTier:
             )
         self.used_bytes -= nbytes
 
+    # -- checkpoint support --------------------------------------------------
+    # Only byte accounting is mutable run state; the spec is frozen and
+    # ``fault_gate`` is a live callable rewired at construction time.
+
+    def state_dict(self) -> dict:
+        return {"used_bytes": self.used_bytes}
+
+    def load_state(self, state: dict) -> None:
+        self.used_bytes = int(state["used_bytes"])
+
 
 @dataclass
 class TieredMemory:
@@ -202,3 +212,13 @@ class TieredMemory:
 
     def total_used(self) -> int:
         return self.fast.used_bytes + self.capacity.used_bytes
+
+    def state_dict(self) -> dict:
+        return {
+            "fast": self.fast.state_dict(),
+            "capacity": self.capacity.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.fast.load_state(state["fast"])
+        self.capacity.load_state(state["capacity"])

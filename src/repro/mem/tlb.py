@@ -27,6 +27,7 @@ identical hits, misses and array state).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -155,6 +156,15 @@ class _SetAssocArray:
         """Per-set MRU-first tag lists (for cross-implementation checks)."""
         return [list(s) for s in self.sets]
 
+    def load_rows(self, rows: List[List[int]]) -> None:
+        """Restore from :meth:`state_rows` output (checkpoint resume)."""
+        if len(rows) != self.num_sets:
+            raise ValueError(
+                f"checkpoint has {len(rows)} sets, TLB has {self.num_sets}"
+            )
+        for s, row in zip(self.sets, rows):
+            s[:] = [int(t) for t in row]
+
 
 class _ArraySetAssoc:
     """Vectorized array: an (num_sets, ways) MRU-first tag matrix."""
@@ -180,6 +190,16 @@ class _ArraySetAssoc:
 
     def state_rows(self) -> List[List[int]]:
         return [[int(t) for t in row if t != -1] for row in self.tags]
+
+    def load_rows(self, rows: List[List[int]]) -> None:
+        if len(rows) != self.num_sets:
+            raise ValueError(
+                f"checkpoint has {len(rows)} sets, TLB has {self.num_sets}"
+            )
+        self.tags[:] = -1
+        for i, row in enumerate(rows):
+            if row:
+                self.tags[i, : len(row)] = row
 
 
 class _ValidatingSetAssoc:
@@ -231,6 +251,10 @@ class _ValidatingSetAssoc:
     def state_rows(self) -> List[List[int]]:
         self._check_state("state_rows")
         return self.array.state_rows()
+
+    def load_rows(self, rows: List[List[int]]) -> None:
+        self.scalar.load_rows(rows)
+        self.array.load_rows(rows)
 
 
 def _make_array(entries: int, ways: int, mode: str):
@@ -324,3 +348,21 @@ class TLB:
         self.stats.shootdowns += 1
         self.stats.invalidated_entries += self._tlb_4k.flush()
         self.stats.invalidated_entries += self._tlb_2m.flush()
+
+    # -- checkpoint support --------------------------------------------------
+    # ``state_rows()`` is the canonical MRU-first form shared by every
+    # kernel implementation, so a checkpoint written in one kernel mode
+    # loads bit-identically in another.
+
+    def state_dict(self) -> dict:
+        return {
+            "stats": dataclasses.asdict(self.stats),
+            "tlb_4k": self._tlb_4k.state_rows(),
+            "tlb_2m": self._tlb_2m.state_rows(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        for key, value in state["stats"].items():
+            setattr(self.stats, key, value)
+        self._tlb_4k.load_rows(state["tlb_4k"])
+        self._tlb_2m.load_rows(state["tlb_2m"])

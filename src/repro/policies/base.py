@@ -21,8 +21,9 @@ accounted uniformly.
 from __future__ import annotations
 
 import abc
+import copy
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -202,6 +203,66 @@ class TieringPolicy(abc.ABC):
         if self.counters is None:
             return {}
         return self.counters.flat()
+
+    # -- checkpoint support ---------------------------------------------------
+
+    #: Instance attributes never captured by the generic state walk:
+    #: live wiring (re-established by ``bind``) and the mask, which gets
+    #: explicit handling so its None-ness round-trips.
+    _STATE_EXCLUDED = frozenset({"ctx", "tracer", "counters", "protection_mask"})
+
+    @staticmethod
+    def _is_plain_state(value: Any) -> bool:
+        """True for plain-data values safe to checkpoint generically."""
+        if value is None or isinstance(
+            value, (bool, int, float, str, np.ndarray, np.generic)
+        ):
+            return True
+        if isinstance(value, (list, tuple, set, frozenset)):
+            return all(TieringPolicy._is_plain_state(v) for v in value)
+        if isinstance(value, dict):
+            return all(
+                TieringPolicy._is_plain_state(k) and TieringPolicy._is_plain_state(v)
+                for k, v in value.items()
+            )
+        return False
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable mutable policy state (epoch checkpoints).
+
+        The base implementation captures the protection mask plus every
+        plain-data instance attribute -- ints, floats, strings, numpy
+        arrays and containers of those -- which covers scan-based
+        policies whose state is per-page arrays and scalar cursors.
+        Frozen configs and bound sub-objects are skipped; policies
+        composed of stateful daemons (MEMTIS) extend this.
+        """
+        attrs: Dict[str, Any] = {}
+        for key, value in vars(self).items():
+            if key in self._STATE_EXCLUDED:
+                continue
+            if isinstance(value, np.ndarray):
+                attrs[key] = value.copy()
+            elif self._is_plain_state(value):
+                attrs[key] = copy.deepcopy(value)
+        return {
+            "protection_mask": (
+                None if self.protection_mask is None
+                else self.protection_mask.copy()
+            ),
+            "attrs": attrs,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        mask = state.get("protection_mask")
+        self.protection_mask = (
+            None if mask is None else np.array(mask, dtype=bool)
+        )
+        for key, value in state.get("attrs", {}).items():
+            if isinstance(value, np.ndarray):
+                setattr(self, key, value.copy())
+            else:
+                setattr(self, key, copy.deepcopy(value))
 
     # -- helpers shared by subclasses ----------------------------------------------
 

@@ -87,9 +87,13 @@ class BoundCostModel:
         )
         if not self.model.bandwidth_model:
             return total
-        if n_cap == 0 or total <= 0:
+        if n_cap == 0 or cap_component <= 0:
             return total
-        demand_gbps = n_cap * self.model.access_bytes / total  # bytes/ns == GB/s
+        # Demand is served within the *capacity-tier* stall window: fast
+        # -tier time does not occupy the capacity tier's channels, so
+        # dividing by ``total`` understated rho exactly when the fast
+        # tier absorbed most of the batch time.
+        demand_gbps = n_cap * self.model.access_bytes / cap_component  # bytes/ns == GB/s
         rho = min(
             self.model.max_utilization,
             demand_gbps / self.tiers.capacity.spec.bandwidth_gbps,

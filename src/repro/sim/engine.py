@@ -209,6 +209,16 @@ class Simulation:
         self.obs = obs if obs is not None else Observability()
         self._epoch_start_ns = 0.0
         self._epoch_index = 0
+        #: Workload events fully applied so far.  On resume, this many
+        #: events of the regenerated stream are skipped unprocessed --
+        #: their effects live in the restored state.
+        self._events_consumed = 0
+        #: Epoch checkpointing (wired by ``RunSpec.execute`` or tests):
+        #: when ``snapshot_every > 0`` and a sink is set, the engine
+        #: calls ``snapshot_sink(epoch_index, state_dict())`` every
+        #: ``snapshot_every``-th epoch close.
+        self.snapshot_every: int = 0
+        self.snapshot_sink = None
 
         self.tiers: TieredMemory = machine.build_tiers()
         self.space = AddressSpace(self.tiers)
@@ -430,24 +440,131 @@ class Simulation:
         self._epoch_index += 1
         self._epoch_start_ns = self.now_ns
         self.sanitizer.after_epoch(self.now_ns)
+        # Checkpoint *before* the kill hook: a fault-killed run always
+        # has a checkpoint at the kill epoch to resume from.
+        if (self.snapshot_every > 0 and self.snapshot_sink is not None
+                and self._epoch_index % self.snapshot_every == 0):
+            self.snapshot_sink(self._epoch_index, self.state_dict())
+        if self.faults is not None:
+            on_epoch = getattr(self.faults, "on_epoch", None)
+            if on_epoch is not None:
+                on_epoch(self._epoch_index)
+
+    # -- checkpoint support --------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Complete serialisable simulator state at the current instant.
+
+        Everything needed for ``run(k) -> save -> load -> run(N-k)`` to
+        be bit-identical to ``run(N)``: engine position and RNG streams,
+        tier accounting, the address space, the TLB (in its
+        mode-portable canonical form), migration and run metrics, the
+        sampler, the policy (daemons included), the shared counter
+        registry and the fault injector.  Live wiring -- unmap
+        listeners, fault gates/hooks, the tracer -- is never serialised;
+        it is re-established by constructing a fresh ``Simulation`` from
+        the same spec before calling :meth:`load_state`.  Tracer event
+        buffers are not checkpointed (tracing is observational and does
+        not influence simulation behaviour).
+        """
+        return {
+            "now_ns": self.now_ns,
+            "batches_processed": self._batches_processed,
+            "epoch_index": self._epoch_index,
+            "epoch_start_ns": self._epoch_start_ns,
+            "phase_ns": dict(self._phase_ns),
+            "events_consumed": self._events_consumed,
+            "rng": self.rng.bit_generator.state,
+            "ctx_rng": self.ctx.rng.bit_generator.state,
+            "regions": {
+                key: region.region_id for key, region in self._regions.items()
+            },
+            "tiers": self.tiers.state_dict(),
+            "space": self.space.state_dict(),
+            "tlb": self.tlb.state_dict(),
+            "migration": self.migrator.state_dict(),
+            "metrics": self.metrics.state_dict(),
+            "sampler": (
+                None if self.sampler is None else self.sampler.state_dict()
+            ),
+            "policy": self.policy.state_dict(),
+            "counters": self.obs.counters.state_dict(),
+            "faults": (
+                None if self.faults is None
+                or not hasattr(self.faults, "state_dict")
+                else self.faults.state_dict()
+            ),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output onto a freshly built sim.
+
+        Order matters: tiers before the address space (the space's page
+        table rebuild relies on byte accounting being restored
+        elsewhere), and the space before the engine's region map (which
+        re-points at the space's restored :class:`Region` objects so
+        free paths observe one shared ``live`` flag).
+        """
+        self.now_ns = state["now_ns"]
+        self._batches_processed = state["batches_processed"]
+        self._epoch_index = state["epoch_index"]
+        self._epoch_start_ns = state["epoch_start_ns"]
+        self._phase_ns = dict(state["phase_ns"])
+        self._events_consumed = state["events_consumed"]
+        self.rng.bit_generator.state = state["rng"]
+        self.ctx.rng.bit_generator.state = state["ctx_rng"]
+        self.tiers.load_state(state["tiers"])
+        self.space.load_state(state["space"])
+        self._regions = {
+            key: self.space.region_by_id(region_id)
+            for key, region_id in state["regions"].items()
+        }
+        self.tlb.load_state(state["tlb"])
+        self.migrator.load_state(state["migration"])
+        self.metrics.load_state(state["metrics"])
+        if self.sampler is not None and state["sampler"] is not None:
+            self.sampler.load_state(state["sampler"])
+        self.policy.load_state(state["policy"])
+        self.obs.counters.load_state(state["counters"])
+        if (self.faults is not None and state.get("faults") is not None
+                and hasattr(self.faults, "load_state")):
+            self.faults.load_state(state["faults"])
 
     # -- driver ------------------------------------------------------------------
 
     def run(self, max_accesses: Optional[int] = None) -> SimResult:
-        """Drive the workload to completion (or an access budget)."""
+        """Drive the workload to completion (or an access budget).
+
+        Resume: event streams are regenerated deterministically from the
+        seed, so after ``load_state`` the first ``_events_consumed``
+        events -- whose effects are already in the restored state -- are
+        skipped without processing (consuming no engine RNG), and the
+        run continues bit-identically from the checkpointed epoch.
+        """
         budget = max_accesses if max_accesses is not None else float("inf")
         wall_start = time.perf_counter()
-        for event in self.workload.events(np.random.default_rng(self.seed + 2)):
-            if isinstance(event, AllocEvent):
-                self._handle_alloc(event)
-            elif isinstance(event, FreeEvent):
-                self._handle_free(event)
-            elif isinstance(event, AccessEvent):
-                self._process_batch(self._rebase(event))
-                if self.metrics.total_accesses >= budget:
-                    break
-            else:
-                raise TypeError(f"unknown workload event {event!r}")
+        skip = self._events_consumed
+        # A resumed run whose checkpoint already reached the access
+        # budget must not process further events (the original run broke
+        # out of the loop at that point).  Fresh runs always enter.
+        if skip == 0 or self.metrics.total_accesses < budget:
+            for event in self.workload.events(
+                np.random.default_rng(self.seed + 2)
+            ):
+                if skip > 0:
+                    skip -= 1
+                    continue
+                self._events_consumed += 1
+                if isinstance(event, AllocEvent):
+                    self._handle_alloc(event)
+                elif isinstance(event, FreeEvent):
+                    self._handle_free(event)
+                elif isinstance(event, AccessEvent):
+                    self._process_batch(self._rebase(event))
+                    if self.metrics.total_accesses >= budget:
+                        break
+                else:
+                    raise TypeError(f"unknown workload event {event!r}")
         # Close the tail window so timelines always cover the full run,
         # even when the last interval is shorter than the period.
         if self.metrics.finalize(

@@ -10,6 +10,7 @@ reports its classified-hot size (Fig. 2).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -148,6 +149,42 @@ class MetricsCollector:
             return False
         self._snapshot(now_ns, rss_bytes, fast_used_bytes, policy_stats_fn)
         return True
+
+    # -- checkpoint support --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "timeline_interval_ns": self.timeline_interval_ns,
+            "total_accesses": self.total_accesses,
+            "total_fast_hits": self.total_fast_hits,
+            "mem_ns": self.mem_ns,
+            "compute_ns": self.compute_ns,
+            "walk_ns": self.walk_ns,
+            "fault_ns": self.fault_ns,
+            "critical_policy_ns": self.critical_policy_ns,
+            "contention_extra_ns": self.contention_extra_ns,
+            "num_hint_faults": self.num_hint_faults,
+            "timeline": [dataclasses.asdict(p) for p in self.timeline],
+            "window_accesses": self._window_accesses,
+            "window_fast_hits": self._window_fast_hits,
+            "window_start_ns": self._window_start_ns,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.timeline_interval_ns = state["timeline_interval_ns"]
+        self.total_accesses = state["total_accesses"]
+        self.total_fast_hits = state["total_fast_hits"]
+        self.mem_ns = state["mem_ns"]
+        self.compute_ns = state["compute_ns"]
+        self.walk_ns = state["walk_ns"]
+        self.fault_ns = state["fault_ns"]
+        self.critical_policy_ns = state["critical_policy_ns"]
+        self.contention_extra_ns = state["contention_extra_ns"]
+        self.num_hint_faults = state["num_hint_faults"]
+        self.timeline = [TimelinePoint(**p) for p in state["timeline"]]
+        self._window_accesses = state["window_accesses"]
+        self._window_fast_hits = state["window_fast_hits"]
+        self._window_start_ns = state["window_start_ns"]
 
     def publish(self, registry) -> None:
         """Mirror run totals into an ``engine/`` counter-registry scope.

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.policies.registry import make_policy
+from repro import snapshot as snapshot_store
 from repro.sim import cache as result_cache
 from repro.sim.engine import Simulation, SimResult
 from repro.sim.machine import (
@@ -50,7 +51,9 @@ from repro.workloads.registry import make_workload
 #: v4: kmigrated bookkeeping fixes (split_hpns leak, collapse admission,
 #: promotion skip), asymmetric period controller, free-path TLB
 #: shootdowns.
-SPEC_SCHEMA_VERSION = 4
+#: v5: exact integer histogram binning (``bin_of_array``), stable
+#: split-candidate tie-breaking, capacity-window bandwidth-model rho.
+SPEC_SCHEMA_VERSION = 5
 
 #: Machine variants a spec can request (see :meth:`MachineSpec.all_capacity`).
 MACHINE_VARIANTS = ("tiered", "all-capacity", "all-fast")
@@ -116,12 +119,25 @@ class RunSpec:
     #: identity -- checks observe, they never change results -- but a
     #: checked spec always executes (a cache hit would check nothing).
     check: Optional[str] = None
+    #: Checkpoint the full simulator state every N epochs (0 = never).
+    #: Not part of the cache identity: checkpointing observes state at
+    #: epoch boundaries without changing the trajectory (enforced by
+    #: tests/test_snapshot.py).
+    snapshot_every: int = 0
+    #: Resume from the latest stored checkpoint for this spec, if one
+    #: exists (falls back to a fresh run otherwise).  Also outside the
+    #: cache identity: a resumed run is bit-identical to a fresh one.
+    resume: bool = False
 
     def __post_init__(self):
         if self.check not in (None, "off", "end", "epoch", "strict"):
             raise ValueError(
                 f"unknown check level {self.check!r}; expected one of "
                 "off/end/epoch/strict"
+            )
+        if self.snapshot_every < 0:
+            raise ValueError(
+                f"snapshot_every must be >= 0, got {self.snapshot_every}"
             )
         if self.scale is None:
             object.__setattr__(self, "scale", DEFAULT_SCALE)
@@ -202,7 +218,38 @@ class RunSpec:
             check=self.check, faults=faults,
         )
 
-    def run(self, cache=result_cache.DEFAULT) -> SimResult:
+    def execute(
+        self, obs=None, faults=None, snapshots=snapshot_store.DEFAULT,
+    ) -> SimResult:
+        """Build and run this spec, honouring checkpoint/resume fields.
+
+        The uncached execution path: with ``snapshot_every > 0`` the
+        simulation checkpoints its complete state to the snapshot store
+        at every N-th epoch boundary; with ``resume=True`` the latest
+        stored checkpoint (if any) is restored before running, so only
+        the remaining epochs are computed.  Resuming is bit-identical to
+        an uninterrupted run, which is why neither field is part of
+        :meth:`cache_key`.  ``snapshots`` follows
+        :func:`repro.snapshot.resolve_store`.
+        """
+        store = None
+        if self.snapshot_every > 0 or self.resume:
+            store = snapshot_store.resolve_store(snapshots)
+        sim = self.build(obs=obs, faults=faults)
+        if store is not None and self.snapshot_every > 0:
+            sim.snapshot_every = self.snapshot_every
+            sim.snapshot_sink = (
+                lambda epoch, state: store.save(self, epoch, state)
+            )
+        if store is not None and self.resume:
+            record = store.load(self)
+            if record is not None:
+                sim.load_state(record.state)
+        return sim.run(max_accesses=self.max_accesses)
+
+    def run(
+        self, cache=result_cache.DEFAULT, snapshots=snapshot_store.DEFAULT,
+    ) -> SimResult:
         """Execute (or fetch from cache) and return the :class:`SimResult`.
 
         ``cache`` follows :func:`repro.sim.cache.resolve_cache`:
@@ -220,7 +267,7 @@ class RunSpec:
                 hit.wall_seconds = 0.0
                 hit.from_cache = True
                 return hit
-        result = self.build().run(max_accesses=self.max_accesses)
+        result = self.execute(snapshots=snapshots)
         if cache is not None:
             cache.put(self, result)
         return result
@@ -241,6 +288,8 @@ class RunSpec:
             "machine_variant": self.machine_variant,
             "force_base_pages": self.force_base_pages,
             "check": self.check,
+            "snapshot_every": self.snapshot_every,
+            "resume": self.resume,
         }
 
     @classmethod
@@ -256,8 +305,12 @@ class RunSpec:
         payload_dict = {"schema": SPEC_SCHEMA_VERSION, **self.to_dict()}
         # Sanitizer checks observe without changing results: a checked
         # run produces (and may serve) the same cache entry as the
-        # unchecked spec.
+        # unchecked spec.  Checkpointing and resuming likewise: a
+        # resumed run is bit-identical to an uninterrupted one, so both
+        # variants share one cache slot (and one checkpoint bucket).
         payload_dict.pop("check")
+        payload_dict.pop("snapshot_every")
+        payload_dict.pop("resume")
         payload = json.dumps(
             payload_dict, sort_keys=True, separators=(",", ":"),
         )

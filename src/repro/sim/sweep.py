@@ -188,12 +188,16 @@ def _emit(progress: Optional[ProgressFn], event: SweepEvent) -> None:
 def _run_cell(
     spec: RunSpec, trace: Optional[TraceConfig] = None
 ) -> Tuple[bool, Optional[SimResult], Optional[str]]:
-    """Execute one spec; never raises.
+    """Execute one spec; never raises for ordinary cell errors.
 
     Runs without touching the cache: the driver pre-filters hits and
     persists successes, so workers stay pure compute.  With ``trace``,
     the run is traced and the events exported to the trace directory
     before returning (tracing never changes simulation results).
+
+    Only :class:`Exception` is converted into a failed-cell tuple;
+    ``KeyboardInterrupt``/``SystemExit`` propagate so Ctrl-C cancels a
+    sweep instead of burning retries on every in-flight cell.
     """
     try:
         obs = None
@@ -204,11 +208,11 @@ def _run_cell(
                 level=trace.level, events=trace.categories,
                 capacity=trace.capacity,
             )
-        result = spec.build(obs=obs).run(max_accesses=spec.max_accesses)
+        result = spec.execute(obs=obs)
         if trace is not None:
             _export_cell_trace(trace, spec, obs, result)
         return True, result, None
-    except BaseException:
+    except Exception:
         return False, None, traceback.format_exc()
 
 
@@ -263,6 +267,11 @@ def run_sweep(
     ``outcome.ok`` (or use :func:`raise_failures`).  With ``trace``,
     each executed cell writes a trace file into ``trace.directory``;
     cache hits get a stub annotated ``from_cache`` instead.
+
+    Retries are checkpoint-aware: a failed (or killed) cell whose spec
+    has ``snapshot_every > 0`` is re-run with ``resume=True``, so the
+    retry continues from the failed attempt's last epoch checkpoint
+    instead of recomputing finished epochs.
     """
     ordered = list(dict.fromkeys(specs))
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
@@ -295,9 +304,19 @@ def run_sweep(
             pending.append(spec)
 
     attempts: Dict[RunSpec, int] = {spec: 0 for spec in pending}
-    while pending:
-        batch, pending = pending, []
-        for spec, (ok, result, error) in _execute_batch(batch, jobs, trace):
+    # Each work item is (original spec, spec actually executed): a retry
+    # of a checkpointing cell runs the ``resume=True`` variant, which
+    # restores the failed attempt's last checkpoint instead of
+    # recomputing finished epochs.  Outcomes/attempts/cache stay keyed
+    # by the original spec (the resume variant shares its cache key).
+    work: List[Tuple[RunSpec, RunSpec]] = [(spec, spec) for spec in pending]
+    while work:
+        batch, work = work, []
+        run_map = {run_spec: spec for spec, run_spec in batch}
+        for run_spec, (ok, result, error) in _execute_batch(
+            [run_spec for _, run_spec in batch], jobs, trace
+        ):
+            spec = run_map[run_spec]
             attempts[spec] += 1
             if ok:
                 completed += 1
@@ -308,7 +327,11 @@ def run_sweep(
                     cache.put(spec, result)
                 _emit(progress, SweepEvent("done", spec, completed, total))
             elif attempts[spec] <= retries:
-                pending.append(spec)
+                retry = (
+                    run_spec.replace(resume=True)
+                    if run_spec.snapshot_every > 0 else run_spec
+                )
+                work.append((spec, retry))
                 _emit(progress, SweepEvent(
                     "retry", spec, completed, total, error=error
                 ))

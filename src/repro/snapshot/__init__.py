@@ -1,0 +1,32 @@
+"""Epoch checkpoint/resume subsystem (see :mod:`repro.snapshot.store`).
+
+``RunSpec(snapshot_every=k)`` checkpoints the full simulator state every
+``k`` epochs; ``RunSpec(resume=True)`` restores the latest checkpoint
+and continues -- bit-identical to the uninterrupted run.
+"""
+
+from repro.snapshot.store import (
+    DEFAULT,
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotRecord,
+    SnapshotStats,
+    SnapshotStore,
+    configure,
+    default_snapshot_dir,
+    default_store,
+    reset,
+    resolve_store,
+)
+
+__all__ = [
+    "DEFAULT",
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotRecord",
+    "SnapshotStats",
+    "SnapshotStore",
+    "configure",
+    "default_snapshot_dir",
+    "default_store",
+    "reset",
+    "resolve_store",
+]

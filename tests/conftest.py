@@ -77,6 +77,22 @@ def _result_cache_in_tmpdir(request, tmp_path, monkeypatch):
     result_cache.reset()
 
 
+@pytest.fixture(autouse=True)
+def _snapshot_store_in_tmpdir(tmp_path, monkeypatch):
+    """Point the epoch-checkpoint store at a per-test tmpdir.
+
+    Mirrors ``_result_cache_in_tmpdir``: tests must never touch a
+    user's snapshot directory.
+    """
+    from repro import snapshot
+
+    snap_dir = tmp_path / "snapshots"
+    monkeypatch.setenv("REPRO_SNAPSHOT_DIR", str(snap_dir))
+    snapshot.configure(snap_dir)
+    yield
+    snapshot.reset()
+
+
 @pytest.fixture
 def ctx():
     return make_context()

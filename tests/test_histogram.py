@@ -24,6 +24,25 @@ class TestBinOf:
         values = np.array([0, 1, 2, 3, 7, 8, 100, 512, 1 << 20])
         assert list(bin_of_array(values)) == [bin_of(int(v)) for v in values]
 
+    def test_power_of_two_boundaries_exact(self):
+        """``2^k - 1`` vs ``2^k`` vs ``2^k + 1`` for every k an int64 can
+        hold.  The float path (``floor(log2(h))``) rounds ``2^k - 1`` up
+        to bin ``k`` once ``k`` exceeds the 53-bit double mantissa; the
+        integer path must agree with the scalar ``bit_length`` math
+        everywhere."""
+        ks = np.arange(1, 63)
+        for offset in (-1, 0, 1):
+            values = (np.int64(1) << ks) + offset
+            got = bin_of_array(values)
+            expected = [bin_of(int(v)) for v in values]
+            assert list(got) == expected, f"offset {offset}"
+
+    def test_input_array_not_mutated(self):
+        values = np.array([5, 1 << 40, 0], dtype=np.int64)
+        before = values.copy()
+        bin_of_array(values)
+        assert (values == before).all()
+
 
 class TestHistogram:
     def test_fixed_at_16_bins(self):

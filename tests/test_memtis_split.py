@@ -105,3 +105,20 @@ class TestCandidateSelection:
     def test_zero_n_splits(self):
         assert choose_split_candidates(np.array([1]), sub_counts(page(4, 9)),
                                        512, 0) == []
+
+    def test_equal_skew_ties_break_by_ascending_hpn(self):
+        """Identical skew scores must pick deterministically: lowest hpn
+        first.  ``np.argsort`` without a secondary key leaves tied
+        entries in implementation-defined order, which made split
+        decisions (and thus whole runs) depend on sort internals."""
+        hpns = np.array([42, 7, 19, 3])
+        counts = np.stack([page(4, 128)] * 4)  # all identical -> all tied
+        assert choose_split_candidates(hpns, counts, 512, n_splits=3) \
+            == [3, 7, 19]
+
+    def test_ties_broken_within_skew_groups(self):
+        """Primary key stays skew (descending); hpn only orders ties."""
+        hpns = np.array([50, 10, 30])
+        counts = sub_counts(page(4, 128), page(256, 2), page(4, 128))
+        picked = choose_split_candidates(hpns, counts, 512, n_splits=3)
+        assert picked == [30, 50, 10]  # two skewed ties by hpn, then flat

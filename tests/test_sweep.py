@@ -179,6 +179,34 @@ class TestSweep:
         out = run_sweep([bad, good], jobs=2, cache=None)
         assert out[good].ok and not out[bad].ok
 
+    def test_keyboard_interrupt_cancels_instead_of_retrying(self, monkeypatch):
+        """_run_cell converts only Exception into a failed cell:
+        KeyboardInterrupt/SystemExit must propagate so Ctrl-C cancels
+        the sweep instead of burning retries on every in-flight cell."""
+        def interrupted(self, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(RunSpec, "execute", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep([_spec()], jobs=1, cache=None, retries=5)
+
+        def exiting(self, **kwargs):
+            raise SystemExit(3)
+
+        monkeypatch.setattr(RunSpec, "execute", exiting)
+        with pytest.raises(SystemExit):
+            run_sweep([_spec()], jobs=1, cache=None, retries=5)
+
+    def test_ordinary_exception_becomes_failed_outcome(self, monkeypatch):
+        def broken(self, **kwargs):
+            raise ValueError("cell blew up")
+
+        monkeypatch.setattr(RunSpec, "execute", broken)
+        out = run_sweep([_spec()], jobs=1, cache=None, retries=1)
+        outcome = out[_spec()]
+        assert not outcome.ok and outcome.attempts == 2
+        assert "cell blew up" in outcome.error
+
     def test_progress_events(self, tmp_path):
         cache = ResultCache(tmp_path / "c")
         events = []
