@@ -1,0 +1,81 @@
+"""The supported public API surface, frozen in one place.
+
+Everything a driver script, notebook or downstream experiment should
+need is re-exported here; anything *not* in ``__all__`` is internal and
+may change without notice.  The N-tier machine model (PR 6) is the
+canonical surface:
+
+* machines are built from an ordered list of :class:`TierSpec`s
+  (``MachineSpec.from_tiers``, ``MachineSpec.from_preset``) or from the
+  paper's two-tier ratio shorthand (``MachineSpec.from_ratio``);
+* tiers are addressed by integer index (0 = fastest) with
+  ``promote_target(i)`` / ``demote_target(i)`` neighbour addressing;
+* the old binary surface (``TierKind.other``,
+  ``MachineSpec.all_fast/all_capacity``) survives as thin
+  ``DeprecationWarning`` shims over the N-tier forms -- see
+  :mod:`repro.mem.tiers` and :mod:`repro.sim.machine`.
+"""
+
+from __future__ import annotations
+
+from repro.mem.tiers import (
+    FASTEST_TIER,
+    TIER_UNMAPPED,
+    UNMAPPED_LABEL,
+    TieredMemory,
+    TierIndex,
+    TierKind,
+    TierSpec,
+    cxl_spec,
+    dram_spec,
+    nvm_spec,
+    remote_spec,
+    tier_label,
+)
+from repro.policies.registry import make_policy, policy_names
+from repro.sim.engine import SimResult, Simulation
+from repro.sim.machine import MACHINE_PRESETS, MachineSpec, ScaleSpec
+from repro.sim.runner import (
+    RunSpec,
+    normalized_performance,
+    run_baseline,
+    run_experiment,
+    run_normalized,
+)
+from repro.sim.sweep import CellOutcome, run_sweep
+from repro.workloads.registry import make_workload, workload_names
+
+__all__ = [
+    # tier model
+    "FASTEST_TIER",
+    "TIER_UNMAPPED",
+    "UNMAPPED_LABEL",
+    "TierIndex",
+    "TierKind",
+    "TierSpec",
+    "TieredMemory",
+    "tier_label",
+    "dram_spec",
+    "cxl_spec",
+    "nvm_spec",
+    "remote_spec",
+    # machine model
+    "MachineSpec",
+    "MACHINE_PRESETS",
+    "ScaleSpec",
+    # simulation
+    "Simulation",
+    "SimResult",
+    "RunSpec",
+    "run_sweep",
+    "CellOutcome",
+    "run_experiment",
+    "run_baseline",
+    "run_normalized",
+    "normalized_performance",
+    # registries
+    "make_policy",
+    "policy_names",
+    "make_workload",
+    "workload_names",
+]

@@ -26,7 +26,7 @@ watermarks).  The catalogue:
 ``promotion-queue``
     Stale entries are allowed (pruning is lazy by design -- see
     ``KSampled.on_unmap``), but any entry the drain loop would actually
-    promote (mapped on the capacity tier with a live histogram bin)
+    promote (mapped below the fastest tier with a live histogram bin)
     must be a mapping representative, never the interior subpage of a
     huge mapping.
 ``split-bookkeeping``
@@ -55,7 +55,7 @@ from typing import Any, Callable, Dict, List, Optional
 import numpy as np
 
 from repro.mem.pages import BASE_PAGE_SIZE, SUBPAGES_PER_HUGE, hpn_to_vpn
-from repro.mem.tiers import TierKind
+from repro.mem.tiers import FASTEST_TIER, tier_label
 
 #: Number of trailing tracer events attached to a violation.
 TRACE_TAIL_EVENTS = 16
@@ -189,7 +189,7 @@ def check_tier_accounting(ctx: CheckContext) -> List[Finding]:
     findings = []
     pt = ctx.space.page_tier
     for tier in ctx.tiers:
-        mapped = int(np.count_nonzero(pt == int(tier.kind))) * BASE_PAGE_SIZE
+        mapped = int(np.count_nonzero(pt == tier.index)) * BASE_PAGE_SIZE
         if tier.used_bytes != mapped:
             findings.append(Finding(
                 "tier-accounting",
@@ -226,10 +226,13 @@ def check_mapping_shape(ctx: CheckContext) -> List[Finding]:
         bad = (rows.min(axis=1) != rows.max(axis=1)) | (rows[:, 0] < 0)
         for i in np.flatnonzero(bad)[:8].tolist():
             hpn = int(np.flatnonzero(any_huge & ~partial)[i])
+            subpage_tiers = sorted(
+                tier_label(t, ctx.tiers) for t in np.unique(rows[i]).tolist()
+            )
             findings.append(Finding(
                 "mapping-shape",
                 "huge-mapped slot has mixed or unmapped subpage tiers",
-                {"hpn": hpn},
+                {"hpn": hpn, "subpage_tiers": subpage_tiers},
             ))
     return findings
 
@@ -340,7 +343,7 @@ def check_promotion_queue(ctx: CheckContext) -> List[Finding]:
         ))
     queue = queue[(queue >= 0) & (queue < space.num_vpns)]
     promotable = (
-        (space.page_tier[queue] == int(TierKind.CAPACITY))
+        (space.page_tier[queue] > FASTEST_TIER)
         & (ks.main_bin[queue] >= 0)
     )
     non_rep = promotable & space.page_huge[queue] & (queue % SUBPAGES_PER_HUGE != 0)

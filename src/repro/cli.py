@@ -31,7 +31,12 @@ from repro import snapshot
 from repro.obs.tracer import CATEGORIES
 from repro.policies.registry import policy_names
 from repro.sim import cache as result_cache
-from repro.sim.machine import DEFAULT_SCALE, MachineSpec, ScaleSpec
+from repro.sim.machine import (
+    DEFAULT_SCALE,
+    MACHINE_PRESETS,
+    MachineSpec,
+    ScaleSpec,
+)
 from repro.sim.runner import RunSpec, normalized_performance
 from repro.sim.sweep import (
     TraceConfig,
@@ -89,14 +94,16 @@ def cmd_run(args) -> int:
     scale = _scale(args)
     kind = "cxl" if args.cxl else "nvm"
     apply_execution_args(args)
+    machine_desc = args.machine_preset or kind
     print(f"running {args.policy} on {args.workload} "
-          f"@ {args.ratio} ({kind}) ...")
+          f"@ {args.ratio} ({machine_desc}) ...")
     if args.snapshot_dir:
         # Via the environment (not snapshot.configure) so sweep worker
         # processes resolve the same store.
         os.environ["REPRO_SNAPSHOT_DIR"] = args.snapshot_dir
     spec = RunSpec(args.workload, args.policy, ratio=args.ratio,
                    capacity_kind=kind, scale=scale, seed=args.seed,
+                   machine_preset=args.machine_preset,
                    check=args.check, snapshot_every=args.snapshot_every,
                    resume=args.resume)
     trace = _trace_config(args) if args.trace is not None else None
@@ -282,6 +289,10 @@ def main(argv=None) -> int:
                        choices=["1:2", "1:8", "1:16", "2:1"])
     p_run.add_argument("--cxl", action="store_true",
                        help="CXL capacity tier instead of NVM")
+    p_run.add_argument("--machine-preset", default=None,
+                       choices=sorted(MACHINE_PRESETS),
+                       help="N-tier machine preset (overrides the two-tier "
+                            "ratio machine; the ratio still sizes DRAM)")
     p_run.add_argument("--quick", action="store_true")
     p_run.add_argument("--seed", type=int, default=42)
     p_run.add_argument("--no-baseline", action="store_true",

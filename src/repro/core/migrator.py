@@ -41,7 +41,7 @@ from repro.mem.pages import (
     hpn_to_vpn,
     vpn_to_hpn,
 )
-from repro.mem.tiers import TierKind
+from repro.mem.tiers import FASTEST_TIER
 from repro.obs.tracer import DEBUG as TRACE_DEBUG
 from repro.policies.base import PolicyContext, scaled_headroom
 
@@ -108,6 +108,12 @@ class KMigrated:
     def split_rounds_triggered(self, value: int) -> None:
         self._c_split_rounds.value = value
 
+    def _demote_dst(self) -> int:
+        """Demotions from DRAM land one tier below; the migration
+        engine's cascade handles deeper overflow on N-tier machines."""
+        target = self.ctx.tiers.demote_target(FASTEST_TIER)
+        return FASTEST_TIER if target is None else target
+
     # -- periodic wakeup ------------------------------------------------------------
 
     def tick(self, now_ns: float) -> None:
@@ -145,7 +151,7 @@ class KMigrated:
         promoted_bytes = 0
         skips = 0
         for rep in reps[order].tolist():
-            if space.page_tier[rep] != int(TierKind.CAPACITY):
+            if space.page_tier[rep] <= FASTEST_TIER:
                 queue.discard(rep)
                 continue
             rep_bin = int(self.ksampled.main_bin[rep])
@@ -176,7 +182,7 @@ class KMigrated:
                     if skips >= self.MAX_PROMOTE_SKIPS:
                         break
                     continue
-            migrator.migrate_page(rep, TierKind.FAST, critical=False)
+            migrator.migrate_page(rep, FASTEST_TIER, critical=False)
             queue.discard(rep)
             promoted += 1
             promoted_bytes += nbytes
@@ -200,7 +206,7 @@ class KMigrated:
         space = self.ctx.space
         reps = np.flatnonzero(
             (self.ksampled.main_weight > 0)
-            & (space.page_tier == int(TierKind.FAST))
+            & (space.page_tier == FASTEST_TIER)
         )
         return reps
 
@@ -260,7 +266,7 @@ class KMigrated:
         cum = np.cumsum(nbytes)
         k = min(int(np.searchsorted(cum, need, side="left")) + 1, len(candidates))
         self.ctx.migrator.migrate_many(
-            candidates[:k], TierKind.CAPACITY, critical=False
+            candidates[:k], self._demote_dst(), critical=False
         )
         self._c_demoted.inc(k)
         if self.tracer.enabled_for("migrate"):
@@ -369,28 +375,32 @@ class KMigrated:
 
         subpage_tiers = []
         fast_budget = tiers.fast.avail_bytes - headroom // 2
-        src_fast = space.page_tier[head] == int(TierKind.FAST)
+        src_fast = space.page_tier[head] == FASTEST_TIER
+        demote_to = self._demote_dst()
         for j in range(SUBPAGES_PER_HUGE):
             if not touched[j]:
                 subpage_tiers.append(None)  # all-zero: unmap and free
                 continue
             if sub_hot[j]:
                 if src_fast:
-                    subpage_tiers.append(TierKind.FAST)
+                    subpage_tiers.append(FASTEST_TIER)
                 elif fast_budget >= BASE_PAGE_SIZE:
-                    subpage_tiers.append(TierKind.FAST)
+                    subpage_tiers.append(FASTEST_TIER)
                     fast_budget -= BASE_PAGE_SIZE
                 else:
-                    subpage_tiers.append(TierKind.CAPACITY)
+                    subpage_tiers.append(demote_to)
             else:
-                subpage_tiers.append(TierKind.CAPACITY)
+                subpage_tiers.append(demote_to)
         kept_mask = np.array([t is not None for t in subpage_tiers], dtype=bool)
         self.ctx.migrator.split_huge(hpn, subpage_tiers, critical=False)
         self.ksampled.on_split(hpn, kept_mask)
         self.splits_done += 1
         if self.tracer.enabled_for("split"):
-            n_fast = sum(1 for t in subpage_tiers if t is TierKind.FAST)
-            n_cap = sum(1 for t in subpage_tiers if t is TierKind.CAPACITY)
+            n_fast = sum(1 for t in subpage_tiers if t == FASTEST_TIER)
+            n_cap = sum(
+                1 for t in subpage_tiers
+                if t is not None and t != FASTEST_TIER
+            )
             self.tracer.emit(
                 "split", "split",
                 hpn=hpn, hot_subpages=int(sub_hot.sum()),
@@ -422,11 +432,11 @@ class KMigrated:
             # 2 MiB would wrongly block collapse near capacity -- the
             # common case, since all-hot ranges live mostly in DRAM.
             resident_fast = int(
-                np.count_nonzero(space.page_tier[sl] == int(TierKind.FAST))
+                np.count_nonzero(space.page_tier[sl] == FASTEST_TIER)
             ) * BASE_PAGE_SIZE
             if not self.ctx.tiers.fast.can_alloc(HUGE_PAGE_SIZE - resident_fast):
                 continue
-            self.ctx.migrator.collapse_huge(hpn, TierKind.FAST, critical=False)
+            self.ctx.migrator.collapse_huge(hpn, FASTEST_TIER, critical=False)
             self.ksampled.on_collapse(hpn)
             self.split_hpns.discard(hpn)
             self.collapses_done += 1

@@ -25,7 +25,7 @@ import numpy as np
 from repro.core.config import MemtisConfig
 from repro.core.migrator import KMigrated
 from repro.core.sampler import KSampled
-from repro.mem.tiers import TierKind
+from repro.mem.tiers import FASTEST_TIER, TierIndex
 from repro.pebs.sampler import SamplerConfig
 from repro.policies.base import BatchObservation, PolicyContext, TieringPolicy, Traits
 
@@ -62,7 +62,7 @@ class MemtisPolicy(TieringPolicy):
 
     def bind(self, ctx: PolicyContext) -> None:
         super().bind(ctx)
-        total = ctx.tiers.fast.capacity_bytes + ctx.tiers.capacity.capacity_bytes
+        total = ctx.tiers.total_capacity_bytes()
         self.config = self.config.resolved(
             fast_bytes=ctx.tiers.fast.capacity_bytes, total_bytes=total
         )
@@ -71,8 +71,8 @@ class MemtisPolicy(TieringPolicy):
 
     # -- placement: fast tier whenever available (§4.2.1) ---------------------------
 
-    def choose_alloc_tier(self, nbytes: int) -> TierKind:
-        return TierKind.FAST  # per-chunk fallback spills to capacity
+    def choose_alloc_tier(self, nbytes: int) -> TierIndex:
+        return FASTEST_TIER  # per-chunk fallback spills down-tier
 
     def on_region_alloc(self, region) -> None:
         self.ksampled.on_region_alloc(region)

@@ -50,7 +50,7 @@ from repro.mem.pages import (
     SUBPAGES_PER_HUGE,
     vpn_to_hpn,
 )
-from repro.mem.tiers import TierKind
+from repro.mem.tiers import FASTEST_TIER
 from repro.pebs.overhead import CpuOverheadModel, SamplingPeriodController
 from repro.pebs.sampler import SampleBatch
 from repro.policies.base import PolicyContext
@@ -254,8 +254,7 @@ class KSampled:
         params = FoldParams(
             page_tier=space.page_tier,
             page_huge=space.page_huge,
-            fast=int(TierKind.FAST),
-            cap=int(TierKind.CAPACITY),
+            fast=FASTEST_TIER,
             t_hot=self.thresholds.hot,
             comp=self.comp,
             base_cut=self.base_cut_hotness,

@@ -42,7 +42,7 @@ def run(scale: Optional[ScaleSpec] = None, pairs=None, policies=None,
         machine = MachineSpec.from_ratio(_mix(pair, scale).total_bytes,
                                          ratio=RATIO)
         baseline = Simulation(
-            _mix(pair, scale), AllCapacityPolicy(), machine.all_capacity()
+            _mix(pair, scale), AllCapacityPolicy(), machine.collapse_to_slowest()
         ).run()
         cell = {}
         for policy in policies:

@@ -53,7 +53,7 @@ def measure_utilization(workload_name: str, scale: Optional[ScaleSpec] = None,
     """
     scale = scale or DEFAULT_SCALE
     workload = make_workload(workload_name, scale)
-    machine = MachineSpec.from_ratio(workload.total_bytes, ratio="1:2").all_capacity()
+    machine = MachineSpec.from_ratio(workload.total_bytes, ratio="1:2").collapse_to_slowest()
     sim = Simulation(workload, AllCapacityPolicy(), machine)
     counts = np.zeros(sim.space.num_vpns, dtype=np.int64)
     original = sim._process_batch

@@ -55,7 +55,7 @@ def run(
         baseline_sim = Simulation(
             Graph500Workload(total_bytes, accesses),
             AllCapacityPolicy(),
-            machine.all_capacity(),
+            machine.collapse_to_slowest(),
         )
         baseline = baseline_sim.run()
         cell = {}

@@ -39,7 +39,7 @@ def run(scale: Optional[ScaleSpec] = None, workloads=None, **_kwargs) -> Experim
             workload = make_workload(name, scale)
             machine = MachineSpec.from_ratio(
                 workload.total_bytes, ratio="2:1"
-            ).all_fast()
+            ).collapse_to_fastest()
             sim = Simulation(workload, AllFastPolicy(), machine,
                              force_base_pages=force_base)
             result = sim.run()

@@ -46,7 +46,7 @@ def run(scale: Optional[ScaleSpec] = None, workloads=None, **_kwargs) -> Experim
         workload = make_workload(name, scale)
         machine = _machine(workload)
         baseline = Simulation(
-            make_workload(name, scale), AllCapacityPolicy(), machine.all_capacity()
+            make_workload(name, scale), AllCapacityPolicy(), machine.collapse_to_slowest()
         ).run()
 
         hemem_result = Simulation(

@@ -34,7 +34,7 @@ def run(scale: Optional[ScaleSpec] = None, workloads=None, **_kwargs) -> Experim
         cls = WORKLOAD_REGISTRY[name]
         workload = make_workload(name, scale)
         machine = MachineSpec.from_ratio(workload.total_bytes, ratio="1:2")
-        sim = Simulation(workload, AllCapacityPolicy(), machine.all_capacity())
+        sim = Simulation(workload, AllCapacityPolicy(), machine.collapse_to_slowest())
         result = sim.run()
         rows.append(
             [

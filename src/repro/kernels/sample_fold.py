@@ -75,7 +75,6 @@ class FoldParams:
     page_tier: np.ndarray
     page_huge: np.ndarray
     fast: int
-    cap: int
     t_hot: int
     comp: int
     base_cut: int
@@ -91,7 +90,7 @@ class FoldResult:
     rhr_hits: int = 0
     ehr_hits: int = 0
     tie_credit: float = 0.0
-    #: Page-representative vpns that crossed T_hot on the capacity tier.
+    #: Page-representative vpns that crossed T_hot on a slower tier.
     promoted: List[int] = field(default_factory=list)
 
 
@@ -106,7 +105,6 @@ def fold_samples_scalar(
     hist = state.hist
     base_hist = state.base_hist
     fast = params.fast
-    cap = params.cap
     t_hot = params.t_hot
     comp = params.comp
     base_cut = params.base_cut
@@ -167,8 +165,8 @@ def fold_samples_scalar(
                 tie_credit -= 1.0
                 res.ehr_hits += 1
 
-        # Hot page on the capacity tier: promotion candidate (§4.2.3).
-        if new_bin >= t_hot and page_tier[vpn] == cap:
+        # Hot page off the fastest tier: promotion candidate (§4.2.3).
+        if new_bin >= t_hot and page_tier[vpn] != fast:
             res.promoted.append(int(rep))
 
     res.tie_credit = tie_credit
@@ -270,9 +268,9 @@ def fold_samples_vectorized(
                 tie_credit -= 1.0
                 ehr_hits += 1
 
-    # -- promotion: final bin >= T_hot on the capacity tier --------------
+    # -- promotion: final bin >= T_hot off the fastest tier --------------
     promo = reps[(new_bins >= params.t_hot)
-                 & (params.page_tier[reps] == params.cap)]
+                 & (params.page_tier[reps] != params.fast)]
 
     return FoldResult(
         processed=processed,

@@ -4,7 +4,8 @@ This package models the hardware/kernel memory machinery that MEMTIS (and
 every baseline tiering policy) runs on top of:
 
 * :mod:`repro.mem.tiers` -- tier specifications and capacity-bounded
-  frame accounting for a fast tier (DRAM) and a capacity tier (NVM/CXL).
+  frame accounting for an ordered hierarchy of tiers (index 0 = fastest
+  DRAM, downward through CXL/NVM/remote as configured).
 * :mod:`repro.mem.pages` -- constants for base/huge pages and metadata
   tables holding per-page access statistics.
 * :mod:`repro.mem.page_table` -- a 4-level radix page table with explicit
@@ -18,7 +19,17 @@ every baseline tiering policy) runs on top of:
   background daemons and by critical-path (fault-time) migrations.
 """
 
-from repro.mem.tiers import TierKind, TierSpec, MemoryTier, TieredMemory
+from repro.mem.tiers import (
+    FASTEST_TIER,
+    TIER_UNMAPPED,
+    UNMAPPED_LABEL,
+    MemoryTier,
+    TieredMemory,
+    TierIndex,
+    TierKind,
+    TierSpec,
+    tier_label,
+)
 from repro.mem.pages import (
     BASE_PAGE_SIZE,
     HUGE_PAGE_SIZE,
@@ -32,6 +43,11 @@ from repro.mem.address_space import AddressSpace, Region
 from repro.mem.migration import MigrationEngine, MigrationStats
 
 __all__ = [
+    "FASTEST_TIER",
+    "TIER_UNMAPPED",
+    "UNMAPPED_LABEL",
+    "TierIndex",
+    "tier_label",
     "TierKind",
     "TierSpec",
     "MemoryTier",

@@ -34,7 +34,13 @@ from repro.mem.pages import (
     hpn_to_vpn,
     vpn_to_hpn,
 )
-from repro.mem.tiers import OutOfMemoryError, TieredMemory, TierKind, TIER_UNMAPPED
+from repro.mem.tiers import (
+    OutOfMemoryError,
+    TIER_UNMAPPED,
+    TieredMemory,
+    TierIndex,
+    tier_label,
+)
 
 
 @dataclass
@@ -57,19 +63,18 @@ class Region:
         return self.base_vpn + self.num_vpns
 
 
-TierChooser = Callable[[int], TierKind]
+#: Picks the preferred tier index for an allocation of the given size.
+TierChooser = Callable[[int], TierIndex]
 
 
 class AddressSpace:
-    """Mapping state for one simulated process over a tier pair."""
+    """Mapping state for one simulated process over an N-tier stack."""
 
     def __init__(self, tiers: TieredMemory, virtual_bytes: Optional[int] = None):
         self.tiers = tiers
         if virtual_bytes is None:
             # Enough virtual room for the whole machine plus recycling slack.
-            virtual_bytes = (
-                tiers.fast.capacity_bytes + tiers.capacity.capacity_bytes
-            ) * 2
+            virtual_bytes = tiers.total_capacity_bytes() * 2
         self.num_vpns = int(np.ceil(virtual_bytes / BASE_PAGE_SIZE))
         # Round the virtual space up to a whole number of huge slots.
         self.num_vpns = (
@@ -134,9 +139,10 @@ class AddressSpace:
         With ``thp`` True, every full 2 MiB-aligned chunk is mapped as a
         huge page (transparent huge pages on a fresh anonymous mapping);
         the tail is mapped with base pages.  ``tier_chooser(chunk_bytes)``
-        picks the preferred tier per chunk; if that tier is full the
-        other tier is used (node fallback), and if both are full the
-        allocation raises :class:`OutOfMemoryError`.
+        picks the preferred tier index per chunk; if that tier is full
+        the remaining tiers are tried in fallback order (slower first,
+        then faster), and if every tier is full the allocation raises
+        :class:`OutOfMemoryError`.
         """
         if nbytes <= 0:
             raise ValueError("region size must be positive")
@@ -153,7 +159,7 @@ class AddressSpace:
         )
         self._next_region_id += 1
 
-        chooser = tier_chooser or (lambda _nbytes: TierKind.FAST)
+        chooser = tier_chooser or (lambda _nbytes: 0)
         if thp:
             for hpn in range(vpn_to_hpn(base_vpn), vpn_to_hpn(base_vpn + num_vpns)):
                 self._map_huge(hpn, self._pick_tier(chooser, HUGE_PAGE_SIZE))
@@ -164,17 +170,22 @@ class AddressSpace:
         self._regions[region.region_id] = region
         return region
 
-    def _pick_tier(self, chooser: TierChooser, nbytes: int) -> TierKind:
+    def _pick_tier(self, chooser: TierChooser, nbytes: int) -> TierIndex:
         preferred = chooser(nbytes)
         if self.tiers.tier(preferred).can_alloc(nbytes):
             return preferred
-        fallback = preferred.other
-        if self.tiers.tier(fallback).can_alloc(nbytes):
-            return fallback
+        for fallback in self.tiers.fallback_order(preferred)[1:]:
+            if self.tiers.tier(fallback).can_alloc(nbytes):
+                return fallback
         raise OutOfMemoryError(
-            f"no tier can hold {nbytes} bytes "
-            f"(fast free={self.tiers.fast.free_bytes}, "
-            f"capacity free={self.tiers.capacity.free_bytes})"
+            f"no tier can hold {nbytes} bytes ({self._free_summary()})"
+        )
+
+    def _free_summary(self) -> str:
+        """Per-tier free bytes for OOM diagnostics."""
+        return ", ".join(
+            f"{tier_label(t.index, self.tiers)} free={t.free_bytes}"
+            for t in self.tiers
         )
 
     def free_region(self, region: Region) -> None:
@@ -203,14 +214,14 @@ class AddressSpace:
 
     # -- low-level map/unmap -------------------------------------------------
 
-    def _map_huge(self, hpn: int, tier: TierKind) -> None:
+    def _map_huge(self, hpn: int, tier: TierIndex) -> None:
         base = hpn_to_vpn(hpn)
         self.tiers.tier(tier).alloc(HUGE_PAGE_SIZE)
         self.page_table.map_huge(base, tier)
         self.page_tier[base : base + SUBPAGES_PER_HUGE] = int(tier)
         self.page_huge[base : base + SUBPAGES_PER_HUGE] = True
 
-    def _map_base(self, vpn: int, tier: TierKind) -> None:
+    def _map_base(self, vpn: int, tier: TierIndex) -> None:
         self.tiers.tier(tier).alloc(BASE_PAGE_SIZE)
         self.page_table.map_base(vpn, tier)
         self.page_tier[vpn] = int(tier)
@@ -258,18 +269,18 @@ class AddressSpace:
         base_is_huge = self.page_huge[:: SUBPAGES_PER_HUGE]
         return np.flatnonzero(base_is_huge)
 
-    def tier_of_vpn(self, vpn: int) -> TierKind:
+    def tier_of_vpn(self, vpn: int) -> int:
         raw = int(self.page_tier[vpn])
         if raw == TIER_UNMAPPED:
             raise KeyError(f"vpn {vpn} not mapped")
-        return TierKind(raw)
+        return raw
 
     def record_touch(self, vpns: np.ndarray) -> None:
         """Set touched/reference bits for a batch of accessed vpns."""
         self.touched[vpns] = True
         self.ref_bit[vpns] = True
 
-    def demand_map(self, vpn: int, preferred: TierKind) -> TierKind:
+    def demand_map(self, vpn: int, preferred: TierIndex) -> TierIndex:
         """Map one base page on first touch (e.g. a subpage freed by a
         huge-page split being written again).  Returns the tier used.
         """
@@ -279,15 +290,17 @@ class AddressSpace:
         self._map_base(vpn, tier)
         return tier
 
-    def demand_map_many(self, vpns: np.ndarray, preferred: TierKind) -> None:
+    def demand_map_many(self, vpns: np.ndarray, preferred: TierIndex) -> None:
         """Demand-map a batch of unmapped base pages (vectorized).
 
-        Equivalent to calling :meth:`demand_map` per vpn in order: the
-        first ``preferred.avail_bytes // 4096`` pages land on the
-        preferred tier, the remainder fall back to the other tier, and
-        the allocation raises :class:`OutOfMemoryError` when both are
-        full.  Tier accounting and the numpy mirrors update in bulk; the
-        radix page table still maps per page (it is not the hot cost).
+        Equivalent to calling :meth:`demand_map` per vpn in order: pages
+        fill the preferred tier up to its available bytes, then spill
+        through the remaining tiers in fallback order (slower first,
+        then faster), and the allocation raises
+        :class:`OutOfMemoryError` before any page maps when the batch
+        does not fit.  Tier accounting and the numpy mirrors update in
+        bulk; the radix page table still maps per page (it is not the
+        hot cost).
         """
         vpns = np.asarray(vpns, dtype=np.int64)
         if len(vpns) == 0:
@@ -295,21 +308,22 @@ class AddressSpace:
         if np.any(self.page_tier[vpns] != TIER_UNMAPPED):
             bad = int(vpns[self.page_tier[vpns] != TIER_UNMAPPED][0])
             raise ValueError(f"vpn {bad} already mapped")
-        n_pref = min(
-            len(vpns),
-            self.tiers.tier(preferred).avail_bytes // BASE_PAGE_SIZE,
-        )
-        chunks = [(preferred, vpns[:n_pref])]
-        rest = vpns[n_pref:]
+        chunks = []
+        rest = vpns
+        for tier in self.tiers.fallback_order(preferred):
+            if not len(rest):
+                break
+            n_here = min(
+                len(rest),
+                self.tiers.tier(tier).avail_bytes // BASE_PAGE_SIZE,
+            )
+            chunks.append((tier, rest[:n_here]))
+            rest = rest[n_here:]
         if len(rest):
-            fallback = preferred.other
-            if self.tiers.tier(fallback).avail_bytes // BASE_PAGE_SIZE < len(rest):
-                raise OutOfMemoryError(
-                    f"no tier can hold {len(rest) * BASE_PAGE_SIZE} bytes "
-                    f"(fast free={self.tiers.fast.free_bytes}, "
-                    f"capacity free={self.tiers.capacity.free_bytes})"
-                )
-            chunks.append((fallback, rest))
+            raise OutOfMemoryError(
+                f"no tier can hold {len(rest) * BASE_PAGE_SIZE} bytes "
+                f"({self._free_summary()})"
+            )
         for tier, chunk in chunks:
             if not len(chunk):
                 continue
@@ -321,7 +335,7 @@ class AddressSpace:
 
     # -- mapping mutations used by the migration engine ------------------------
 
-    def retarget(self, base_vpn: int, is_huge: bool, dst: TierKind) -> int:
+    def retarget(self, base_vpn: int, is_huge: bool, dst: TierIndex) -> int:
         """Move one mapping to ``dst``; returns bytes moved.
 
         Caller is responsible for cost accounting (copy + shootdown).
@@ -331,7 +345,7 @@ class AddressSpace:
         if mapping is None or mapping.is_huge != is_huge:
             raise KeyError(f"vpn {base_vpn} mapping shape mismatch")
         src = mapping.tier
-        if src is dst:
+        if int(src) == int(dst):
             return 0
         self.tiers.tier(dst).alloc(nbytes)
         self.tiers.tier(src).free(nbytes)
@@ -341,24 +355,35 @@ class AddressSpace:
         return nbytes
 
     def retarget_many(
-        self, base_vpns: np.ndarray, is_huge: bool, dst: TierKind
+        self, base_vpns: np.ndarray, is_huge: bool, dst: TierIndex
     ) -> int:
         """Move many same-shape mappings to ``dst``; returns pages moved.
 
-        Every vpn must currently be mapped with shape ``is_huge`` on
-        ``dst.other`` (the caller filters same-tier no-ops).  Tier
-        accounting moves in one transfer, so a batch that does not fit
-        ``dst`` raises :class:`OutOfMemoryError` before any page moves
-        (the sequential path would fail midway; neither completes).
+        Every vpn must currently be mapped with shape ``is_huge`` on a
+        tier other than ``dst`` (the caller filters same-tier no-ops);
+        sources may span several tiers.  Tier accounting moves in one
+        transfer per source tier, so a batch that does not fit ``dst``
+        raises :class:`OutOfMemoryError` before any page moves (the
+        sequential path would fail midway; neither completes).
         """
         base_vpns = np.asarray(base_vpns, dtype=np.int64)
         n = len(base_vpns)
         if n == 0:
             return 0
         nbytes = HUGE_PAGE_SIZE if is_huge else BASE_PAGE_SIZE
-        src = dst.other
+        dst = int(dst)
+        src_counts = np.bincount(
+            self.page_tier[base_vpns], minlength=len(self.tiers)
+        )
+        if src_counts[dst]:
+            raise ValueError(
+                f"retarget_many: batch contains vpns already on tier "
+                f"{tier_label(dst, self.tiers)}"
+            )
         self.tiers.tier(dst).alloc(n * nbytes)
-        self.tiers.tier(src).free(n * nbytes)
+        for src, count in enumerate(src_counts.tolist()):
+            if count:
+                self.tiers.tier(src).free(count * nbytes)
         for vpn in base_vpns.tolist():
             self.page_table.set_tier(int(vpn), dst)
         if is_huge:
@@ -373,10 +398,10 @@ class AddressSpace:
     def split_huge(self, hpn: int, subpage_tiers) -> dict:
         """Split huge page ``hpn`` into base pages at per-subpage tiers.
 
-        ``subpage_tiers[j]`` is the destination :class:`TierKind` of
-        subpage ``j``, or None to free it (never-touched, all-zero
-        subpages are unmapped to reclaim bloat, §4.3.3).  Returns a small
-        accounting dict (bytes freed / migrated) for the caller to charge.
+        ``subpage_tiers[j]`` is the destination tier index of subpage
+        ``j``, or None to free it (never-touched, all-zero subpages are
+        unmapped to reclaim bloat, §4.3.3).  Returns a small accounting
+        dict (bytes freed / migrated) for the caller to charge.
         """
         base = hpn_to_vpn(hpn)
         mapping = self.page_table.lookup(base)
@@ -394,11 +419,11 @@ class AddressSpace:
                 self.touched[base + sub] = False
                 continue
             self._map_base(base + sub, dst)
-            if dst is not src:
+            if int(dst) != int(src):
                 moved += BASE_PAGE_SIZE
         return {"bytes_freed": freed, "bytes_migrated": moved, "src_tier": src}
 
-    def collapse_huge(self, hpn: int, tier: TierKind) -> int:
+    def collapse_huge(self, hpn: int, tier: TierIndex) -> int:
         """Coalesce 512 base subpages back into one huge page on ``tier``.
 
         Returns bytes migrated (subpages that changed tier).
@@ -465,10 +490,10 @@ class AddressSpace:
         huge_heads = np.flatnonzero(self.page_huge[::SUBPAGES_PER_HUGE])
         for hpn in huge_heads.tolist():
             base = hpn_to_vpn(int(hpn))
-            self.page_table.map_huge(base, TierKind(int(self.page_tier[base])))
+            self.page_table.map_huge(base, int(self.page_tier[base]))
         base_vpns = np.flatnonzero((self.page_tier >= 0) & ~self.page_huge)
         for vpn in base_vpns.tolist():
-            self.page_table.map_base(int(vpn), TierKind(int(self.page_tier[vpn])))
+            self.page_table.map_base(int(vpn), int(self.page_tier[vpn]))
 
     # -- consistency (used by tests) -------------------------------------------
 
@@ -484,13 +509,10 @@ class AddressSpace:
             raise AssertionError("page_tier mirror out of sync with page table")
         if not np.array_equal(huge, self.page_huge):
             raise AssertionError("page_huge mirror out of sync with page table")
-        used_fast = int(np.count_nonzero(seen == int(TierKind.FAST))) * BASE_PAGE_SIZE
-        used_cap = int(np.count_nonzero(seen == int(TierKind.CAPACITY))) * BASE_PAGE_SIZE
-        if used_fast != self.tiers.fast.used_bytes:
-            raise AssertionError(
-                f"fast tier accounting {self.tiers.fast.used_bytes} != mapped {used_fast}"
-            )
-        if used_cap != self.tiers.capacity.used_bytes:
-            raise AssertionError(
-                f"capacity tier accounting {self.tiers.capacity.used_bytes} != mapped {used_cap}"
-            )
+        for tier in self.tiers:
+            mapped = int(np.count_nonzero(seen == tier.index)) * BASE_PAGE_SIZE
+            if mapped != tier.used_bytes:
+                raise AssertionError(
+                    f"{tier_label(tier.index, self.tiers)} tier accounting "
+                    f"{tier.used_bytes} != mapped {mapped}"
+                )

@@ -1,10 +1,17 @@
-"""Memory tiers: specifications, capacity accounting, and the tier pair.
+"""Memory tiers: specifications, capacity accounting, and the tier stack.
 
-The paper evaluates two tier layouts (§6.1, §6.4):
+The paper evaluates two-tier layouts (§6.1, §6.4) -- DRAM + Optane NVM
+(load ~300 ns) and DRAM + emulated CXL (load 177 ns) -- but the machine
+model here is N-tier: a machine is an **ordered list of tiers**, index 0
+the fastest, each with its own latency/bandwidth/capacity (HM-Keeper
+manages DRAM + CXL + NVM + remote simultaneously; Nomad migrates along a
+tier chain).  The paper's two-tier configurations are the special case
+``N == 2``.
 
-* DRAM (fast tier) + Intel Optane NVM (capacity tier), load latency
-  ~300 ns on the capacity tier;
-* DRAM + emulated CXL memory, load latency 177 ns on the capacity tier.
+Tier identity is a plain integer index into the machine's tier list.
+The historical :class:`TierKind` enum (``FAST = 0`` / ``CAPACITY = 1``)
+remains as a deprecated alias layer: it is an ``IntEnum``, so every API
+that now takes a tier index still accepts it.
 
 We model a tier as a latency/bandwidth specification plus a
 capacity-bounded byte allocator.  Individual frame numbers are not
@@ -16,23 +23,65 @@ over capacity, and double-frees are detected.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterator, List, Optional, Sequence, Union
 
 
 class TierKind(enum.IntEnum):
-    """Identity of a tier.  Values are stable and used in numpy mirrors."""
+    """Deprecated two-tier identity; values are tier *indices*.
+
+    Kept so historical call sites (``TierKind.FAST``) keep working: as an
+    ``IntEnum`` it is interchangeable with the tier indices the N-tier
+    API uses.  New code should use plain indices (0 = fastest).
+    """
 
     FAST = 0
     CAPACITY = 1
 
     @property
     def other(self) -> "TierKind":
+        """Deprecated: binary tier flip.
+
+        Only meaningful on a two-tier machine; use
+        :meth:`TieredMemory.promote_target` /
+        :meth:`TieredMemory.demote_target` neighbor addressing instead.
+        """
+        warnings.warn(
+            "TierKind.other is deprecated: it assumes a two-tier machine; "
+            "use TieredMemory.promote_target()/demote_target() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return TierKind.CAPACITY if self is TierKind.FAST else TierKind.FAST
 
 
+#: Index of the fastest tier in every machine.
+FASTEST_TIER = 0
+
 #: Sentinel tier value in vectorised per-page arrays for unmapped pages.
 TIER_UNMAPPED = -1
+
+#: Canonical label for the unmapped sentinel in exports/error messages.
+UNMAPPED_LABEL = "unmapped"
+
+#: Any value naming a tier: a plain index or the legacy TierKind.
+TierIndex = Union[int, TierKind]
+
+
+def tier_label(index: int, tiers: Optional["TieredMemory"] = None) -> str:
+    """Human-readable name for a tier index in exports and errors.
+
+    ``TIER_UNMAPPED`` always renders as ``"unmapped"`` -- the raw ``-1``
+    must never leak into results or findings.  With a ``tiers`` stack the
+    tier's spec name is used (``"DRAM"``); without one, ``"tier<i>"``.
+    """
+    index = int(index)
+    if index == TIER_UNMAPPED:
+        return UNMAPPED_LABEL
+    if tiers is not None and 0 <= index < len(tiers):
+        return tiers[index].spec.name
+    return f"tier{index}"
 
 
 @dataclass(frozen=True)
@@ -75,7 +124,21 @@ def cxl_spec(capacity_bytes: int) -> TierSpec:
                     store_latency_ns=187.0, bandwidth_gbps=60.0)
 
 
+def remote_spec(capacity_bytes: int) -> TierSpec:
+    """Disaggregated/remote memory tier (RDMA-class, single-digit us)."""
+    return TierSpec("Remote", capacity_bytes, load_latency_ns=1_500.0,
+                    store_latency_ns=1_600.0, bandwidth_gbps=8.0)
+
+
 CAPACITY_SPECS = {"nvm": nvm_spec, "cxl": cxl_spec, "dram": dram_spec}
+
+#: Every known tier technology, keyed by kind name (N-tier machines).
+TIER_SPECS = {
+    "dram": dram_spec,
+    "nvm": nvm_spec,
+    "cxl": cxl_spec,
+    "remote": remote_spec,
+}
 
 
 class OutOfMemoryError(RuntimeError):
@@ -86,7 +149,7 @@ class OutOfMemoryError(RuntimeError):
 class MemoryTier:
     """One tier with strict byte accounting."""
 
-    kind: TierKind
+    index: int
     spec: TierSpec
     used_bytes: int = 0
     #: Optional fault-injection gate (see ``repro.check.faults``).  When
@@ -96,6 +159,14 @@ class MemoryTier:
     #: consistent through an outage.
     fault_gate: Optional[Callable[[], bool]] = field(
         default=None, repr=False, compare=False)
+
+    def __post_init__(self):
+        self.index = int(self.index)
+
+    @property
+    def kind(self) -> int:
+        """Deprecated alias for :attr:`index` (old two-tier name)."""
+        return self.index
 
     @property
     def capacity_bytes(self) -> int:
@@ -156,69 +227,174 @@ class MemoryTier:
         self.used_bytes = int(state["used_bytes"])
 
 
-@dataclass
 class TieredMemory:
-    """The fast/capacity tier pair of one machine.
+    """The ordered tier stack of one machine (index 0 = fastest).
 
-    Provides latency lookup tables indexed by :class:`TierKind` value for
-    vectorised cost accounting, and small helpers policies use to reason
-    about headroom.
+    Provides latency lookup tables indexed by tier index for vectorised
+    cost accounting, neighbor addressing for promotion/demotion targets,
+    and small helpers policies use to reason about headroom.
+
+    The legacy two-tier constructor form
+    ``TieredMemory(fast=<tier0>, capacity=<tier1>)`` still works; the
+    N-tier form takes the tier list: ``TieredMemory([t0, t1, t2])``.
     """
 
-    fast: MemoryTier
-    capacity: MemoryTier
+    def __init__(
+        self,
+        tiers: Optional[Sequence[MemoryTier]] = None,
+        *,
+        fast: Optional[MemoryTier] = None,
+        capacity: Optional[MemoryTier] = None,
+    ):
+        if tiers is None:
+            if fast is None or capacity is None:
+                raise ValueError(
+                    "TieredMemory needs a tier list or fast=/capacity="
+                )
+            # Legacy two-tier form: positions are asserted, as before.
+            if int(fast.index) != FASTEST_TIER:
+                raise ValueError("fast tier must have kind FAST")
+            if int(capacity.index) != 1:
+                raise ValueError("capacity tier must have kind CAPACITY")
+            tiers = (fast, capacity)
+        elif fast is not None or capacity is not None:
+            raise ValueError("pass either a tier list or fast=/capacity=, not both")
+        self.tiers: List[MemoryTier] = list(tiers)
+        if not self.tiers:
+            raise ValueError("a machine needs at least one tier")
+        for i, tier in enumerate(self.tiers):
+            if int(tier.index) != i:
+                raise ValueError(
+                    f"tier {tier.spec.name}: index {tier.index} does not "
+                    f"match its position {i} in the stack"
+                )
 
     @classmethod
-    def build(cls, fast_spec: TierSpec, capacity_spec: TierSpec) -> "TieredMemory":
-        return cls(
-            fast=MemoryTier(TierKind.FAST, fast_spec),
-            capacity=MemoryTier(TierKind.CAPACITY, capacity_spec),
-        )
+    def build(cls, *specs: TierSpec) -> "TieredMemory":
+        """Build a stack from :class:`TierSpec`s, fastest first."""
+        return cls([MemoryTier(i, spec) for i, spec in enumerate(specs)])
 
-    def __post_init__(self):
-        if self.fast.kind is not TierKind.FAST:
-            raise ValueError("fast tier must have kind FAST")
-        if self.capacity.kind is not TierKind.CAPACITY:
-            raise ValueError("capacity tier must have kind CAPACITY")
+    # -- indexing -----------------------------------------------------------
 
-    def tier(self, kind: TierKind) -> MemoryTier:
-        return self.fast if kind is TierKind.FAST else self.capacity
+    def tier(self, index: TierIndex) -> MemoryTier:
+        return self.tiers[int(index)]
 
-    def __iter__(self):
-        yield self.fast
-        yield self.capacity
+    def __getitem__(self, index: TierIndex) -> MemoryTier:
+        return self.tiers[int(index)]
+
+    def __len__(self) -> int:
+        return len(self.tiers)
+
+    def __iter__(self) -> Iterator[MemoryTier]:
+        return iter(self.tiers)
+
+    @property
+    def num_tiers(self) -> int:
+        return len(self.tiers)
+
+    @property
+    def fast(self) -> MemoryTier:
+        """The fastest tier (index 0)."""
+        return self.tiers[FASTEST_TIER]
+
+    @property
+    def capacity(self) -> MemoryTier:
+        """Legacy name for the terminal (slowest) tier.
+
+        On a two-tier machine this is the paper's capacity tier; on an
+        N-tier machine prefer explicit indices or :attr:`slowest`.
+        """
+        return self.tiers[-1]
+
+    @property
+    def slowest(self) -> MemoryTier:
+        return self.tiers[-1]
+
+    @property
+    def slowest_index(self) -> int:
+        return len(self.tiers) - 1
+
+    # -- neighbor addressing (replaces TierKind.other) ----------------------
+
+    def promote_target(self, index: TierIndex) -> Optional[int]:
+        """Tier one step faster than ``index`` (None at the top)."""
+        index = int(index)
+        if not 0 <= index < len(self.tiers):
+            raise IndexError(f"tier index {index} out of range")
+        return index - 1 if index > FASTEST_TIER else None
+
+    def demote_target(self, index: TierIndex) -> Optional[int]:
+        """Tier one step slower than ``index`` (None at the bottom)."""
+        index = int(index)
+        if not 0 <= index < len(self.tiers):
+            raise IndexError(f"tier index {index} out of range")
+        return index + 1 if index < len(self.tiers) - 1 else None
+
+    def fallback_order(self, preferred: TierIndex) -> List[int]:
+        """Allocation fallback: preferred, then slower tiers, then faster.
+
+        Generalises the old binary node fallback: a fast-first request
+        spills downward (Linux local-node-first), a slow-first request
+        tries the remaining slower tiers before climbing upward.
+        """
+        preferred = int(preferred)
+        if not 0 <= preferred < len(self.tiers):
+            raise IndexError(f"tier index {preferred} out of range")
+        down = list(range(preferred + 1, len(self.tiers)))
+        up = list(range(preferred - 1, -1, -1))
+        return [preferred] + down + up
+
+    # -- latency helpers ----------------------------------------------------
 
     @property
     def latency_gap(self) -> float:
-        """``AL = L_cap - L_fast`` used in the split-count equation (Eq. 2)."""
-        return self.capacity.spec.load_latency_ns - self.fast.spec.load_latency_ns
+        """``AL = L_slowest - L_fast`` used in the split-count equation (Eq. 2)."""
+        return (self.tiers[-1].spec.load_latency_ns
+                - self.tiers[0].spec.load_latency_ns)
 
     def load_latency_table(self):
-        """Array ``lat[tier_kind_value] -> load ns`` for vectorised gather."""
+        """Array ``lat[tier_index] -> load ns`` for vectorised gather."""
         import numpy as np
 
         return np.array(
-            [self.fast.spec.load_latency_ns, self.capacity.spec.load_latency_ns],
-            dtype=np.float64,
+            [t.spec.load_latency_ns for t in self.tiers], dtype=np.float64
         )
 
     def store_latency_table(self):
         import numpy as np
 
         return np.array(
-            [self.fast.spec.store_latency_ns, self.capacity.spec.store_latency_ns],
-            dtype=np.float64,
+            [t.spec.store_latency_ns for t in self.tiers], dtype=np.float64
         )
 
+    # -- aggregates ---------------------------------------------------------
+
     def total_used(self) -> int:
-        return self.fast.used_bytes + self.capacity.used_bytes
+        return sum(t.used_bytes for t in self.tiers)
+
+    def total_capacity_bytes(self) -> int:
+        return sum(t.capacity_bytes for t in self.tiers)
+
+    def label(self, index: int) -> str:
+        """Name for a tier index (``"unmapped"`` for the sentinel)."""
+        return tier_label(index, self)
+
+    # -- checkpoint support --------------------------------------------------
 
     def state_dict(self) -> dict:
-        return {
-            "fast": self.fast.state_dict(),
-            "capacity": self.capacity.state_dict(),
-        }
+        return {"tiers": [t.state_dict() for t in self.tiers]}
 
     def load_state(self, state: dict) -> None:
-        self.fast.load_state(state["fast"])
-        self.capacity.load_state(state["capacity"])
+        if "tiers" in state:
+            entries = state["tiers"]
+            if len(entries) != len(self.tiers):
+                raise ValueError(
+                    f"checkpoint has {len(entries)} tiers, machine has "
+                    f"{len(self.tiers)}"
+                )
+            for tier, entry in zip(self.tiers, entries):
+                tier.load_state(entry)
+        else:
+            # Legacy two-tier checkpoint format ({"fast": ..., "capacity": ...}).
+            self.tiers[0].load_state(state["fast"])
+            self.tiers[-1].load_state(state["capacity"])

@@ -21,7 +21,7 @@ from typing import Dict
 import numpy as np
 
 from repro.mem.pages import BASE_PAGE_SIZE, HUGE_PAGE_SIZE, SUBPAGES_PER_HUGE
-from repro.mem.tiers import TierKind
+from repro.mem.tiers import FASTEST_TIER
 from repro.policies.base import PolicyContext, TieringPolicy, Traits
 
 
@@ -91,15 +91,15 @@ class AutoNUMAPolicy(TieringPolicy):
                 self.protection_mask[head : head + SUBPAGES_PER_HUGE] = False
             else:
                 self.protection_mask[vpn] = False
-            if space.page_tier[vpn] != int(TierKind.CAPACITY):
-                continue
+            if space.page_tier[vpn] <= FASTEST_TIER:
+                continue  # already on the fastest tier (or unmapped)
             nbytes = HUGE_PAGE_SIZE if space.page_huge[vpn] else BASE_PAGE_SIZE
             if not self.ctx.tiers.fast.can_alloc(nbytes):
                 continue  # no demotion: once DRAM is full, promotion stops
             if not self._rate_allows(nbytes):
                 continue
             critical_ns += self.ctx.migrator.migrate_page(
-                int(vpn), TierKind.FAST, critical=True
+                int(vpn), FASTEST_TIER, critical=True
             )
             self.promoted_on_fault += 1
         return critical_ns

@@ -21,7 +21,7 @@ from typing import Dict
 import numpy as np
 
 from repro.mem.pages import BASE_PAGE_SIZE, HUGE_PAGE_SIZE, SUBPAGES_PER_HUGE
-from repro.mem.tiers import TierKind
+from repro.mem.tiers import FASTEST_TIER, TierIndex
 from repro.policies.base import PolicyContext, TieringPolicy, Traits
 
 
@@ -67,12 +67,12 @@ class AutoTieringPolicy(TieringPolicy):
         self._ensure_protection_mask()
         self._history = np.zeros(ctx.space.num_vpns, dtype=np.uint8)
 
-    def choose_alloc_tier(self, nbytes: int) -> TierKind:
+    def choose_alloc_tier(self, nbytes: int) -> TierIndex:
         # Reserved fast-tier pages serve promotions only: new data goes to
-        # the capacity tier once DRAM is below the allocation watermark.
+        # the next-slower tier once DRAM is below the allocation watermark.
         if self.fast_free_fraction() > self.alloc_watermark:
-            return TierKind.FAST
-        return TierKind.CAPACITY
+            return FASTEST_TIER
+        return self.demote_target()
 
     # -- scanner: protect a window and age histories -----------------------------
 
@@ -104,7 +104,7 @@ class AutoTieringPolicy(TieringPolicy):
         if tiers.fast.free_bytes >= target_free:
             return
         space = self.ctx.space
-        fast_vpns = np.flatnonzero(space.page_tier == int(TierKind.FAST))
+        fast_vpns = np.flatnonzero(space.page_tier == FASTEST_TIER)
         if len(fast_vpns) == 0:
             return
         order = np.argsort(self._history[fast_vpns], kind="stable")
@@ -112,10 +112,10 @@ class AutoTieringPolicy(TieringPolicy):
         for vpn in fast_vpns[order].tolist():
             if need <= 0:
                 break
-            if space.page_tier[vpn] != int(TierKind.FAST):
+            if space.page_tier[vpn] != FASTEST_TIER:
                 continue
             nbytes = HUGE_PAGE_SIZE if space.page_huge[vpn] else BASE_PAGE_SIZE
-            self.ctx.migrator.migrate_page(vpn, TierKind.CAPACITY, critical=False)
+            self.ctx.migrator.migrate_page(vpn, self.demote_target(), critical=False)
             need -= nbytes
 
     # -- fault handler ---------------------------------------------------------
@@ -134,12 +134,12 @@ class AutoTieringPolicy(TieringPolicy):
                 self.protection_mask[vpn] = False
                 self._history[vpn] |= top_bit
                 rep = vpn
-            if space.page_tier[rep] != int(TierKind.CAPACITY):
-                continue
+            if space.page_tier[rep] <= FASTEST_TIER:
+                continue  # already fastest (or unmapped)
             nbytes = HUGE_PAGE_SIZE if space.page_huge[rep] else BASE_PAGE_SIZE
             if self.ctx.tiers.fast.can_alloc(nbytes):
                 critical_ns += self.ctx.migrator.migrate_page(
-                    rep, TierKind.FAST, critical=True
+                    rep, FASTEST_TIER, critical=True
                 )
                 self.promotions += 1
             else:
@@ -156,16 +156,16 @@ class AutoTieringPolicy(TieringPolicy):
         if self._exchange_budget_left < 2 * nbytes:
             return 0.0
         space = self.ctx.space
-        fast_vpns = np.flatnonzero(space.page_tier == int(TierKind.FAST))
+        fast_vpns = np.flatnonzero(space.page_tier == FASTEST_TIER)
         if len(fast_vpns) == 0:
             return 0.0
         victim = int(fast_vpns[np.argmin(self._history[fast_vpns])])
         # Never exchange with a hotter page.
         if self._history[victim] >= self._history[vpn]:
             return 0.0
-        ns = self.ctx.migrator.migrate_page(victim, TierKind.CAPACITY, critical=True)
+        ns = self.ctx.migrator.migrate_page(victim, self.demote_target(), critical=True)
         if self.ctx.tiers.fast.can_alloc(nbytes):
-            ns += self.ctx.migrator.migrate_page(vpn, TierKind.FAST, critical=True)
+            ns += self.ctx.migrator.migrate_page(vpn, FASTEST_TIER, critical=True)
             self.exchanges += 1
         self._exchange_budget_left -= 2 * nbytes
         return ns

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.mem.address_space import AddressSpace
 from repro.mem.migration import MigrationEngine
-from repro.mem.tiers import TieredMemory, TierKind
+from repro.mem.tiers import FASTEST_TIER, TieredMemory, TierIndex
 from repro.mem.tlb import TLB
 from repro.obs import NULL_TRACER, Observability
 from repro.pebs.events import AccessBatch
@@ -148,15 +148,17 @@ class TieringPolicy(abc.ABC):
 
     # -- allocation placement --------------------------------------------------
 
-    def choose_alloc_tier(self, nbytes: int) -> TierKind:
-        """Preferred tier for a fresh allocation (fast-first by default).
+    def choose_alloc_tier(self, nbytes: int) -> TierIndex:
+        """Preferred tier index for a fresh allocation (fastest-first by
+        default).
 
         The preference is stated once per region; the address space
-        still applies *per-chunk* node fallback, so a large region fills
-        the remaining fast-tier space first and spills to the capacity
-        tier -- the Linux local-node-first allocation behaviour.
+        still applies *per-chunk* fallback through the slower tiers, so
+        a large region fills the remaining fast-tier space first and
+        spills downward -- the Linux local-node-first allocation
+        behaviour.
         """
-        return TierKind.FAST
+        return FASTEST_TIER
 
     def on_region_alloc(self, region) -> None:
         """A region was allocated and mapped (policy may pin/track it)."""
@@ -274,6 +276,17 @@ class TieringPolicy(abc.ABC):
     def fast_free_fraction(self) -> float:
         fast = self.ctx.tiers.fast
         return fast.free_bytes / fast.capacity_bytes
+
+    def demote_target(self) -> int:
+        """Tier index demotions from the fastest tier land on.
+
+        One step below the fastest tier (tier 1 on every machine with at
+        least two tiers); deeper overflow is handled by the migration
+        engine's demotion cascade, so policies stay two-tier-shaped even
+        on N-tier machines.
+        """
+        target = self.ctx.tiers.demote_target(FASTEST_TIER)
+        return FASTEST_TIER if target is None else target
 
     def headroom_bytes(self, fraction: float) -> int:
         """Scale-floored free-space target (see :func:`scaled_headroom`)."""

@@ -30,7 +30,7 @@ from typing import Dict, Set
 import numpy as np
 
 from repro.mem.pages import BASE_PAGE_SIZE, HUGE_PAGE_SIZE
-from repro.mem.tiers import TierKind
+from repro.mem.tiers import FASTEST_TIER, TierIndex
 from repro.policies.base import BatchObservation, PolicyContext, TieringPolicy, Traits
 from repro.pebs.sampler import SamplerConfig
 
@@ -85,13 +85,13 @@ class HeMemPolicy(TieringPolicy):
         super().bind(ctx)
         self._count = np.zeros(ctx.space.num_vpns, dtype=np.int32)
         self._pinned = np.zeros(ctx.space.num_vpns, dtype=bool)
-        total = ctx.tiers.fast.capacity_bytes + ctx.tiers.capacity.capacity_bytes
+        total = ctx.tiers.total_capacity_bytes()
         self._small_alloc_max = int(total * self.small_alloc_fraction)
 
-    def choose_alloc_tier(self, nbytes: int) -> TierKind:
+    def choose_alloc_tier(self, nbytes: int) -> TierIndex:
         # Small allocations always go to DRAM (over-allocation); big
         # ones also prefer DRAM and spill per chunk like everyone else.
-        return TierKind.FAST
+        return FASTEST_TIER
 
     def on_region_alloc(self, region) -> None:
         if region.nbytes <= self._small_alloc_max:
@@ -119,7 +119,7 @@ class HeMemPolicy(TieringPolicy):
         # Static hot threshold: enqueue capacity pages crossing the bar.
         hot = heads[self._count[heads] >= self.hot_threshold]
         for vpn in np.unique(hot).tolist():
-            if space.page_tier[vpn] == int(TierKind.CAPACITY):
+            if space.page_tier[vpn] > FASTEST_TIER:
                 self._promote.add(int(vpn))
         # Static cooling: any page at the cooling bar halves every count.
         if len(heads) and int(self._count[heads].max()) >= self.cooling_threshold:
@@ -146,14 +146,14 @@ class HeMemPolicy(TieringPolicy):
 
         migrator = self.ctx.migrator
         for vpn in sorted(self._promote):
-            if space.page_tier[vpn] != int(TierKind.CAPACITY):
+            if space.page_tier[vpn] <= FASTEST_TIER:
                 continue
             nbytes = HUGE_PAGE_SIZE if space.page_huge[vpn] else BASE_PAGE_SIZE
             if not tiers.fast.can_alloc(nbytes):
                 self._demote_cold(nbytes)
             if not tiers.fast.can_alloc(nbytes):
                 break
-            migrator.migrate_page(vpn, TierKind.FAST, critical=False)
+            migrator.migrate_page(vpn, FASTEST_TIER, critical=False)
             self.promotions += 1
         self._promote.clear()
 
@@ -165,7 +165,7 @@ class HeMemPolicy(TieringPolicy):
         """Demote the coldest unpinned fast-tier pages."""
         space = self.ctx.space
         fast = np.flatnonzero(
-            (space.page_tier == int(TierKind.FAST)) & ~self._pinned
+            (space.page_tier == FASTEST_TIER) & ~self._pinned
         )
         if len(fast) == 0:
             return
@@ -176,10 +176,10 @@ class HeMemPolicy(TieringPolicy):
         for vpn in cold[order].tolist():
             if freed >= nbytes_needed:
                 break
-            if space.page_tier[vpn] != int(TierKind.FAST):
+            if space.page_tier[vpn] != FASTEST_TIER:
                 continue
             nbytes = HUGE_PAGE_SIZE if space.page_huge[vpn] else BASE_PAGE_SIZE
-            self.ctx.migrator.migrate_page(vpn, TierKind.CAPACITY, critical=False)
+            self.ctx.migrator.migrate_page(vpn, self.demote_target(), critical=False)
             self.demotions += 1
             freed += nbytes
 

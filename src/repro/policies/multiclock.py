@@ -17,7 +17,7 @@ from typing import Dict
 import numpy as np
 
 from repro.mem.pages import BASE_PAGE_SIZE, HUGE_PAGE_SIZE
-from repro.mem.tiers import TierKind
+from repro.mem.tiers import FASTEST_TIER
 from repro.policies.base import PolicyContext, TieringPolicy, Traits
 
 
@@ -72,7 +72,7 @@ class MultiClockPolicy(TieringPolicy):
         # Promotion: streak >= 2 on the capacity tier.
         hot = np.flatnonzero(
             (self._streak >= self.PROMOTION_STREAK)
-            & (space.page_tier == int(TierKind.CAPACITY))
+            & (space.page_tier > FASTEST_TIER)
         )
         hot = self._page_reps(hot)
         migrator = self.ctx.migrator
@@ -82,7 +82,7 @@ class MultiClockPolicy(TieringPolicy):
                 self._demote_for_space(nbytes)
             if not self.ctx.tiers.fast.can_alloc(nbytes):
                 break
-            migrator.migrate_page(vpn, TierKind.FAST, critical=False)
+            migrator.migrate_page(vpn, FASTEST_TIER, critical=False)
             self.promotions += 1
         self._demote_watermark()
         space.ref_bit[mapped] = False
@@ -97,7 +97,7 @@ class MultiClockPolicy(TieringPolicy):
     def _demotion_candidates(self) -> np.ndarray:
         space = self.ctx.space
         cold_fast = np.flatnonzero(
-            (space.page_tier == int(TierKind.FAST)) & (self._streak == 0)
+            (space.page_tier == FASTEST_TIER) & (self._streak == 0)
         )
         return self._page_reps(cold_fast)
 
@@ -107,10 +107,10 @@ class MultiClockPolicy(TieringPolicy):
         for vpn in self._demotion_candidates().tolist():
             if freed >= nbytes_needed:
                 break
-            if space.page_tier[vpn] != int(TierKind.FAST):
+            if space.page_tier[vpn] != FASTEST_TIER:
                 continue
             nbytes = HUGE_PAGE_SIZE if space.page_huge[vpn] else BASE_PAGE_SIZE
-            self.ctx.migrator.migrate_page(vpn, TierKind.CAPACITY, critical=False)
+            self.ctx.migrator.migrate_page(vpn, self.demote_target(), critical=False)
             self.demotions += 1
             freed += nbytes
 

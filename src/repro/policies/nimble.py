@@ -21,7 +21,7 @@ from typing import Dict
 import numpy as np
 
 from repro.mem.pages import BASE_PAGE_SIZE, HUGE_PAGE_SIZE
-from repro.mem.tiers import TierKind
+from repro.mem.tiers import FASTEST_TIER
 from repro.policies.base import PolicyContext, TieringPolicy, Traits
 
 
@@ -68,9 +68,9 @@ class NimblePolicy(TieringPolicy):
         self._scan_cpu_ns += num_mapped * self.scan_ns_per_page
 
         referenced = space.ref_bit & mapped
-        hot_cap = np.flatnonzero(referenced & (space.page_tier == int(TierKind.CAPACITY)))
+        hot_cap = np.flatnonzero(referenced & (space.page_tier > FASTEST_TIER))
         cold_fast = np.flatnonzero(
-            mapped & ~space.ref_bit & (space.page_tier == int(TierKind.FAST))
+            mapped & ~space.ref_bit & (space.page_tier == FASTEST_TIER)
         )
         # Deduplicate to page representatives (huge page heads).  The
         # promotion order is arbitrary (LRU-list order in the original);
@@ -93,13 +93,13 @@ class NimblePolicy(TieringPolicy):
                 victim = next(cold_iter, None)
                 if victim is None:
                     break
-                if space.page_tier[victim] != int(TierKind.FAST):
+                if space.page_tier[victim] != FASTEST_TIER:
                     continue
-                migrator.migrate_page(victim, TierKind.CAPACITY, critical=False)
+                migrator.migrate_page(victim, self.demote_target(), critical=False)
                 self.demotions += 1
             if not self.ctx.tiers.fast.can_alloc(nbytes):
                 break
-            migrator.migrate_page(vpn, TierKind.FAST, critical=False)
+            migrator.migrate_page(vpn, FASTEST_TIER, critical=False)
             self.promotions += 1
             budget -= nbytes
 

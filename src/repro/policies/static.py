@@ -1,6 +1,6 @@
 """Static reference configurations: no tiering decisions at all.
 
-``AllCapacityPolicy`` pins everything to the capacity tier; run on an
+``AllCapacityPolicy`` pins everything to the slowest tier; run on an
 all-capacity machine it is the paper's normalisation baseline ("all-NVM
 case with THP enabled", §6.1).  ``AllFastPolicy`` pins everything to
 DRAM; run on an all-fast machine it is Fig. 7's "All-DRAM" reference.
@@ -8,12 +8,12 @@ DRAM; run on an all-fast machine it is Fig. 7's "All-DRAM" reference.
 
 from __future__ import annotations
 
-from repro.mem.tiers import TierKind
+from repro.mem.tiers import FASTEST_TIER, TierIndex
 from repro.policies.base import TieringPolicy, Traits
 
 
 class AllCapacityPolicy(TieringPolicy):
-    """Place and keep every page on the capacity tier."""
+    """Place and keep every page on the slowest (capacity) tier."""
 
     name = "all-capacity"
     traits = Traits(
@@ -26,8 +26,8 @@ class AllCapacityPolicy(TieringPolicy):
         page_size_handling="THP default",
     )
 
-    def choose_alloc_tier(self, nbytes: int) -> TierKind:
-        return TierKind.CAPACITY
+    def choose_alloc_tier(self, nbytes: int) -> TierIndex:
+        return self.ctx.tiers.slowest_index
 
 
 class AllFastPolicy(TieringPolicy):
@@ -44,5 +44,5 @@ class AllFastPolicy(TieringPolicy):
         page_size_handling="THP default",
     )
 
-    def choose_alloc_tier(self, nbytes: int) -> TierKind:
-        return TierKind.FAST
+    def choose_alloc_tier(self, nbytes: int) -> TierIndex:
+        return FASTEST_TIER

@@ -21,7 +21,7 @@ from typing import Dict
 import numpy as np
 
 from repro.mem.pages import HUGE_PAGE_SIZE, SUBPAGES_PER_HUGE
-from repro.mem.tiers import TierKind
+from repro.mem.tiers import FASTEST_TIER
 from repro.policies.base import PolicyContext, TieringPolicy, Traits
 
 
@@ -142,15 +142,15 @@ class ThermostatPolicy(TieringPolicy):
         migrator = self.ctx.migrator
         # Demote classified-cold pages out of DRAM first...
         for hpn in cold_list:
-            if space.page_tier[hpn << 9] == int(TierKind.FAST):
-                migrator.migrate_huge(hpn, TierKind.CAPACITY, critical=False)
+            if space.page_tier[hpn << 9] == FASTEST_TIER:
+                migrator.migrate_huge(hpn, self.demote_target(), critical=False)
         # ...then pull classified-hot pages in while room remains.
         for hpn in hot_list:
-            if space.page_tier[hpn << 9] != int(TierKind.CAPACITY):
+            if space.page_tier[hpn << 9] <= FASTEST_TIER:
                 continue
             if not tiers.fast.can_alloc(HUGE_PAGE_SIZE):
                 break
-            migrator.migrate_huge(hpn, TierKind.FAST, critical=False)
+            migrator.migrate_huge(hpn, FASTEST_TIER, critical=False)
 
     def on_unmap(self, base_vpn: int, num_vpns: int) -> None:
         if self.protection_mask is not None:

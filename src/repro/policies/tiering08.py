@@ -19,7 +19,7 @@ from typing import Dict
 import numpy as np
 
 from repro.mem.pages import BASE_PAGE_SIZE, HUGE_PAGE_SIZE, SUBPAGES_PER_HUGE
-from repro.mem.tiers import TierKind
+from repro.mem.tiers import FASTEST_TIER
 from repro.policies.base import PolicyContext, TieringPolicy, Traits
 
 
@@ -92,7 +92,7 @@ class Tiering08Policy(TieringPolicy):
         if tiers.fast.free_bytes >= target:
             return
         space = self.ctx.space
-        fast_vpns = np.flatnonzero(space.page_tier == int(TierKind.FAST))
+        fast_vpns = np.flatnonzero(space.page_tier == FASTEST_TIER)
         if len(fast_vpns) == 0:
             return
         # Reclaim only scans the inactive list: non-referenced pages,
@@ -103,10 +103,10 @@ class Tiering08Policy(TieringPolicy):
         for vpn in inactive[order].tolist():
             if need <= 0:
                 break
-            if space.page_tier[vpn] != int(TierKind.FAST):
+            if space.page_tier[vpn] != FASTEST_TIER:
                 continue
             nbytes = HUGE_PAGE_SIZE if space.page_huge[vpn] else BASE_PAGE_SIZE
-            self.ctx.migrator.migrate_page(vpn, TierKind.CAPACITY, critical=False)
+            self.ctx.migrator.migrate_page(vpn, self.demote_target(), critical=False)
             need -= nbytes
         # Clear reference bits so the next window measures fresh recency.
         space.ref_bit[fast_vpns] = False
@@ -124,7 +124,7 @@ class Tiering08Policy(TieringPolicy):
                 self.protection_mask[vpn] = False
             last = self._last_fault_ns[rep]
             self._last_fault_ns[rep] = self._now_ns
-            if space.page_tier[rep] != int(TierKind.CAPACITY):
+            if space.page_tier[rep] <= FASTEST_TIER:
                 continue
             if self._now_ns - last > self.refault_window_ns:
                 continue  # re-fault too slow: not promotion material
@@ -135,7 +135,7 @@ class Tiering08Policy(TieringPolicy):
             if not self.ctx.tiers.fast.can_alloc(nbytes):
                 continue
             critical_ns += self.ctx.migrator.migrate_page(
-                rep, TierKind.FAST, critical=True
+                rep, FASTEST_TIER, critical=True
             )
             self.promotions += 1
         return critical_ns

@@ -22,7 +22,7 @@ from typing import Dict
 import numpy as np
 
 from repro.mem.pages import BASE_PAGE_SIZE, HUGE_PAGE_SIZE, SUBPAGES_PER_HUGE
-from repro.mem.tiers import TierKind
+from repro.mem.tiers import FASTEST_TIER
 from repro.pebs.sampler import SamplerConfig
 from repro.policies.base import BatchObservation, PolicyContext, TieringPolicy, Traits
 
@@ -78,7 +78,7 @@ class TMTSPolicy(TieringPolicy):
         space = self.ctx.space
         vpns = obs.samples.vpn
         heads = np.where(space.page_huge[vpns], (vpns >> 9) << 9, vpns)
-        on_capacity = heads[space.page_tier[heads] == int(TierKind.CAPACITY)]
+        on_capacity = heads[space.page_tier[heads] > FASTEST_TIER]
         self._promote.update(int(v) for v in np.unique(on_capacity))
         return 0.0
 
@@ -129,7 +129,7 @@ class TMTSPolicy(TieringPolicy):
         migrator = self.ctx.migrator
 
         # Demote pages idle beyond the adaptive age (split huge first).
-        fast = np.flatnonzero(space.page_tier == int(TierKind.FAST))
+        fast = np.flatnonzero(space.page_tier == FASTEST_TIER)
         if len(fast):
             heads = np.unique(np.where(space.page_huge[fast],
                                        (fast >> 9) << 9, fast))
@@ -138,31 +138,32 @@ class TMTSPolicy(TieringPolicy):
             for vpn in old.tolist():
                 if tiers.fast.free_bytes >= headroom:
                     break
-                if space.page_tier[vpn] != int(TierKind.FAST):
+                if space.page_tier[vpn] != FASTEST_TIER:
                     continue
                 if space.page_huge[vpn]:
                     # "All demoted huge pages ... undergo splitting upon
                     # demotion" (§8) -- no skew consideration.
                     hpn = vpn >> 9
                     touched = space.touched[vpn : vpn + SUBPAGES_PER_HUGE]
+                    demote_to = self.demote_target()
                     subpage_tiers = [
-                        TierKind.CAPACITY if touched[j] else None
+                        demote_to if touched[j] else None
                         for j in range(SUBPAGES_PER_HUGE)
                     ]
                     migrator.split_huge(hpn, subpage_tiers, critical=False)
                     self.splits_on_demotion += 1
                 else:
-                    migrator.migrate_base(vpn, TierKind.CAPACITY, critical=False)
+                    migrator.migrate_base(vpn, self.demote_target(), critical=False)
                 self.demotions += 1
 
         # Promote sampled pages while room remains.
         for vpn in sorted(self._promote):
-            if space.page_tier[vpn] != int(TierKind.CAPACITY):
+            if space.page_tier[vpn] <= FASTEST_TIER:
                 continue
             nbytes = HUGE_PAGE_SIZE if space.page_huge[vpn] else BASE_PAGE_SIZE
             if not tiers.fast.can_alloc(nbytes):
                 break
-            migrator.migrate_page(vpn, TierKind.FAST, critical=False)
+            migrator.migrate_page(vpn, FASTEST_TIER, critical=False)
             self.promotions += 1
         self._promote.clear()
 

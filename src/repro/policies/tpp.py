@@ -21,7 +21,7 @@ from typing import Dict
 import numpy as np
 
 from repro.mem.pages import BASE_PAGE_SIZE, HUGE_PAGE_SIZE, SUBPAGES_PER_HUGE
-from repro.mem.tiers import TierKind
+from repro.mem.tiers import FASTEST_TIER, TierIndex
 from repro.policies.base import PolicyContext, TieringPolicy, Traits
 
 
@@ -65,9 +65,9 @@ class TPPPolicy(TieringPolicy):
         self._ensure_protection_mask()
         self._fault_count = np.zeros(ctx.space.num_vpns, dtype=np.int16)
 
-    def choose_alloc_tier(self, nbytes: int) -> TierKind:
+    def choose_alloc_tier(self, nbytes: int) -> TierIndex:
         # New pages go to DRAM; the demotion daemon maintains headroom.
-        return TierKind.FAST
+        return FASTEST_TIER
 
     # -- scanning + background demotion ------------------------------------------
 
@@ -82,7 +82,7 @@ class TPPPolicy(TieringPolicy):
         self._next_scan_ns = now_ns + self.scan_period_ns
         space = self.ctx.space
         # TPP tracks only capacity-tier (CXL/NVM) pages with hint faults.
-        cap_vpns = np.flatnonzero(space.page_tier == int(TierKind.CAPACITY))
+        cap_vpns = np.flatnonzero(space.page_tier > FASTEST_TIER)
         if len(cap_vpns):
             window = max(SUBPAGES_PER_HUGE, int(len(cap_vpns) * self.scan_fraction))
             start = self._scan_cursor % len(cap_vpns)
@@ -99,7 +99,7 @@ class TPPPolicy(TieringPolicy):
         if tiers.fast.free_bytes >= target:
             return
         space = self.ctx.space
-        fast_vpns = np.flatnonzero(space.page_tier == int(TierKind.FAST))
+        fast_vpns = np.flatnonzero(space.page_tier == FASTEST_TIER)
         if len(fast_vpns) == 0:
             return
         # LRU approximation: only *inactive* (non-referenced) pages are
@@ -110,10 +110,10 @@ class TPPPolicy(TieringPolicy):
         for vpn in inactive.tolist():
             if need <= 0:
                 break
-            if space.page_tier[vpn] != int(TierKind.FAST):
+            if space.page_tier[vpn] != FASTEST_TIER:
                 continue
             nbytes = HUGE_PAGE_SIZE if space.page_huge[vpn] else BASE_PAGE_SIZE
-            self.ctx.migrator.migrate_page(vpn, TierKind.CAPACITY, critical=False)
+            self.ctx.migrator.migrate_page(vpn, self.demote_target(), critical=False)
             self.demotions += 1
             need -= nbytes
         space.ref_bit[fast_vpns] = False
@@ -130,7 +130,7 @@ class TPPPolicy(TieringPolicy):
             else:
                 self.protection_mask[vpn] = False
             self._fault_count[rep] += 1
-            if space.page_tier[rep] != int(TierKind.CAPACITY):
+            if space.page_tier[rep] <= FASTEST_TIER:
                 continue
             if self._fault_count[rep] < self.PROMOTION_THRESHOLD:
                 continue
@@ -138,7 +138,7 @@ class TPPPolicy(TieringPolicy):
             if not self.ctx.tiers.fast.can_alloc(nbytes):
                 continue
             critical_ns += self.ctx.migrator.migrate_page(
-                rep, TierKind.FAST, critical=True
+                rep, FASTEST_TIER, critical=True
             )
             self._fault_count[rep] = 0
             self.promotions += 1

@@ -51,7 +51,7 @@ class CostModel:
 
 
 class BoundCostModel:
-    """Cost model specialised to a tier pair (latency tables baked)."""
+    """Cost model specialised to a tier stack (latency tables baked)."""
 
     def __init__(self, model: CostModel, tiers: TieredMemory):
         self.model = model
@@ -60,46 +60,57 @@ class BoundCostModel:
         self.store_table = tiers.store_latency_table() / model.mlp_factor
 
     def memory_ns(self, tier_per_access: np.ndarray, is_store: np.ndarray) -> float:
-        """Stall time of one batch given per-access tiers.
+        """Stall time of one batch given per-access tier indices.
 
-        Every access falls in one of four (tier, kind) categories, so the
-        batch total is four counts times four baked latencies -- no
-        per-access gather/where/sum temporaries.
+        Every access falls in one of ``2N`` (tier, kind) categories, so
+        the batch total is integer per-tier load/store counts times the
+        baked latencies -- no per-access gather/where/sum temporaries.
+        The per-tier components are summed fastest-first, which for two
+        tiers reproduces the historical ``(fast + capacity)`` float
+        addition order exactly.
 
-        With the opt-in bandwidth model, the capacity-tier component is
-        inflated by ``1/(1-rho)`` where rho is the tier's bandwidth
-        utilisation estimated from this batch's demand -- the Optane
-        saturation effect that widens tiering gaps on real hardware.
+        With the opt-in bandwidth model, every non-fastest tier's
+        component is inflated by ``1/(1-rho)`` where rho is that tier's
+        bandwidth utilisation estimated from this batch's demand -- the
+        Optane saturation effect that widens tiering gaps on real
+        hardware.
         """
         n = len(tier_per_access)
-        cap_mask = tier_per_access == 1
-        n_cap = int(np.count_nonzero(cap_mask))
-        n_store = int(np.count_nonzero(is_store))
-        n_store_cap = int(np.count_nonzero(is_store & cap_mask))
-        n_store_fast = n_store - n_store_cap
-        n_load_cap = n_cap - n_store_cap
-        n_load_fast = (n - n_store) - n_load_cap
-        lt, st = self.load_table, self.store_table
-        cap_component = n_load_cap * float(lt[1]) + n_store_cap * float(st[1])
-        total = (
-            n_load_fast * float(lt[0]) + n_store_fast * float(st[0])
-            + cap_component
+        num_tiers = len(self.tiers)
+        totals = np.bincount(tier_per_access, minlength=num_tiers)
+        store_totals = np.bincount(
+            tier_per_access[is_store], minlength=num_tiers
         )
+        lt, st = self.load_table, self.store_table
+        components = []
+        for i in range(num_tiers):
+            n_store_i = int(store_totals[i])
+            n_load_i = int(totals[i]) - n_store_i
+            components.append(
+                n_load_i * float(lt[i]) + n_store_i * float(st[i])
+            )
+        total = components[0]
+        for comp in components[1:]:
+            total = total + comp
         if not self.model.bandwidth_model:
             return total
-        if n_cap == 0 or cap_component <= 0:
-            return total
-        # Demand is served within the *capacity-tier* stall window: fast
-        # -tier time does not occupy the capacity tier's channels, so
-        # dividing by ``total`` understated rho exactly when the fast
-        # tier absorbed most of the batch time.
-        demand_gbps = n_cap * self.model.access_bytes / cap_component  # bytes/ns == GB/s
-        rho = min(
-            self.model.max_utilization,
-            demand_gbps / self.tiers.capacity.spec.bandwidth_gbps,
-        )
-        inflation = 1.0 / (1.0 - rho)
-        return total + cap_component * (inflation - 1.0)
+        # Demand is served within each tier's *own* stall window: other
+        # tiers' time does not occupy this tier's channels, so dividing
+        # by the batch total would understate rho exactly when faster
+        # tiers absorbed most of the batch time.
+        for i in range(1, num_tiers):
+            n_i = int(totals[i])
+            comp_i = components[i]
+            if n_i == 0 or comp_i <= 0:
+                continue
+            demand_gbps = n_i * self.model.access_bytes / comp_i  # bytes/ns == GB/s
+            rho = min(
+                self.model.max_utilization,
+                demand_gbps / self.tiers[i].spec.bandwidth_gbps,
+            )
+            inflation = 1.0 / (1.0 - rho)
+            total = total + comp_i * (inflation - 1.0)
+        return total
 
     def compute_ns(self, num_accesses: int) -> float:
         return num_accesses * self.model.compute_ns_per_access

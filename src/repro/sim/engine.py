@@ -29,7 +29,7 @@ import numpy as np
 from repro.check.invariants import Sanitizer, resolve_check_level
 from repro.mem.address_space import AddressSpace, Region
 from repro.mem.migration import MigrationEngine, MigrationStats
-from repro.mem.tiers import TieredMemory, TierKind
+from repro.mem.tiers import FASTEST_TIER, TieredMemory
 from repro.mem.tlb import TLB, TLBConfig, TLBStats
 from repro.obs import DEBUG, Observability
 from repro.pebs.events import AccessBatch
@@ -105,7 +105,7 @@ class SimResult:
         return json_safe({
             "workload_name": self.workload_name,
             "policy_name": self.policy_name,
-            "machine": dataclasses.asdict(self.machine),
+            "machine": self.machine.to_dict(),
             "runtime_ns": self.runtime_ns,
             "fast_hit_ratio": self.fast_hit_ratio,
             "throughput_maps": self.throughput_maps,
@@ -128,10 +128,7 @@ class SimResult:
                     for point in metrics.timeline
                 ],
             },
-            "migration": dict(
-                dataclasses.asdict(self.migration),
-                traffic_bytes=self.migration.traffic_bytes,
-            ),
+            "migration": _migration_dict(self.migration),
             "tlb": dict(
                 dataclasses.asdict(self.tlb),
                 miss_ratio=self.tlb.miss_ratio,
@@ -170,6 +167,19 @@ def json_safe(obj: Any) -> Any:
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         return json_safe(dataclasses.asdict(obj))
     return str(obj)
+
+
+def _migration_dict(stats: MigrationStats) -> dict:
+    """Export migration stats; cascade fields appear only when active.
+
+    Demotion cascades exist only on machines with 3+ tiers, so two-tier
+    results keep their historical key set (and pinned digests).
+    """
+    d = dict(dataclasses.asdict(stats), traffic_bytes=stats.traffic_bytes)
+    if stats.cascade_pages == 0 and stats.cascade_bytes == 0:
+        del d["cascade_pages"]
+        del d["cascade_bytes"]
+    return d
 
 
 class Simulation:
@@ -344,7 +354,7 @@ class Simulation:
                             pages=len(missing), fault_ns=demand_fault_ns)
         mem_ns = self.bound_cost.memory_ns(tier_per_access, batch.is_store)
         compute_ns = self.bound_cost.compute_ns(n)
-        fast_hits = int(np.count_nonzero(tier_per_access == int(TierKind.FAST)))
+        fast_hits = int(np.count_nonzero(tier_per_access == FASTEST_TIER))
 
         # Translation cost: exact TLB on the strided substream.
         stride = self.tlb.config.sample_stride

@@ -38,6 +38,7 @@ from repro.sim import cache as result_cache
 from repro.sim.engine import Simulation, SimResult
 from repro.sim.machine import (
     DEFAULT_SCALE,
+    MACHINE_PRESETS,
     TIERING_RATIOS,
     MachineSpec,
     ScaleSpec,
@@ -128,6 +129,12 @@ class RunSpec:
     #: exists (falls back to a fresh run otherwise).  Also outside the
     #: cache identity: a resumed run is bit-identical to a fresh one.
     resume: bool = False
+    #: Named multi-tier machine preset (``dram-cxl-nvm``,
+    #: ``dram-cxl-nvm-remote``); None keeps the two-tier machine built
+    #: from ``ratio``/``capacity_kind``.  Serialized (and hashed into
+    #: the cache key) only when set, so every historical spec keeps its
+    #: ``to_dict()`` layout and ``cache_key()`` unchanged.
+    machine_preset: Optional[str] = None
 
     def __post_init__(self):
         if self.check not in (None, "off", "end", "epoch", "strict"):
@@ -158,6 +165,12 @@ class RunSpec:
             raise ValueError(
                 f"unknown machine variant {self.machine_variant!r}; "
                 f"expected one of {MACHINE_VARIANTS}"
+            )
+        if self.machine_preset is not None and \
+                self.machine_preset not in MACHINE_PRESETS:
+            raise ValueError(
+                f"unknown machine preset {self.machine_preset!r}; "
+                f"expected one of {sorted(MACHINE_PRESETS)}"
             )
 
     # -- derived specs -----------------------------------------------------
@@ -203,14 +216,19 @@ class RunSpec:
         ``build()``, not ``run()``).
         """
         workload = make_workload(self.workload, self.scale)
-        machine = MachineSpec.from_ratio(
-            workload.total_bytes, ratio=self.ratio,
-            capacity_kind=self.capacity_kind,
-        )
+        if self.machine_preset is not None:
+            machine = MachineSpec.from_preset(
+                self.machine_preset, workload.total_bytes, ratio=self.ratio,
+            )
+        else:
+            machine = MachineSpec.from_ratio(
+                workload.total_bytes, ratio=self.ratio,
+                capacity_kind=self.capacity_kind,
+            )
         if self.machine_variant == "all-capacity":
-            machine = machine.all_capacity()
+            machine = machine.collapse_to_slowest()
         elif self.machine_variant == "all-fast":
-            machine = machine.all_fast()
+            machine = machine.collapse_to_fastest()
         policy = make_policy(self.policy, **self.policy_kwargs_dict)
         return Simulation(
             workload, policy, machine, seed=self.seed,
@@ -275,8 +293,12 @@ class RunSpec:
     # -- identity / serialisation -----------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe dict capturing every result-relevant field."""
-        return {
+        """JSON-safe dict capturing every result-relevant field.
+
+        ``machine_preset`` is emitted only when set: historical two-tier
+        specs keep their exact serialized layout (and cache keys).
+        """
+        d = {
             "workload": self.workload,
             "policy": self.policy,
             "ratio": self.ratio,
@@ -291,6 +313,9 @@ class RunSpec:
             "snapshot_every": self.snapshot_every,
             "resume": self.resume,
         }
+        if self.machine_preset is not None:
+            d["machine_preset"] = self.machine_preset
+        return d
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
@@ -319,6 +344,8 @@ class RunSpec:
     def label(self) -> str:
         """Short human-readable cell name for progress output."""
         parts = [self.workload, self.policy, self.ratio]
+        if self.machine_preset is not None:
+            parts.append(self.machine_preset)
         if self.machine_variant != "tiered":
             parts.append(self.machine_variant)
         return " ".join(parts)

@@ -120,11 +120,11 @@ class TestAllocPlacement:
         # allocations are directed to the capacity tier -- the §6.2.6
         # short-lived-data behaviour.
         assert sim.tiers.fast.free_bytes == 0
-        assert policy.choose_alloc_tier(2 * MB) is TierKind.CAPACITY
+        assert policy.choose_alloc_tier(2 * MB) == TierKind.CAPACITY
 
     def test_default_policy_prefers_fast(self):
         policy = AllFastPolicy()
         machine = MachineSpec(fast_bytes=8 * MB, capacity_bytes=64 * MB)
         sim = Simulation(OneRegionWorkload(), policy, machine)
         sim.run()
-        assert policy.choose_alloc_tier(2 * MB) is TierKind.FAST
+        assert policy.choose_alloc_tier(2 * MB) == TierKind.FAST

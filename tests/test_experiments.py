@@ -98,6 +98,15 @@ class TestShapeClaims:
         cell = result.data["silo|1:8"]
         assert cell["memtis"] >= cell["tpp"]
 
+    def test_fig14_three_tier_exercises_cascade(self):
+        result = load_experiment("fig14").run_three_tier(
+            scale=SMOKE_SCALE, workloads=["silo"]
+        )
+        cell = result.data["silo"]
+        assert cell["tpp"] > 0 and cell["memtis"] > 0
+        # DRAM demotions overflowing a full CXL tier cascade on to NVM.
+        assert cell["cascade_pages"] > 0
+
     def test_overheads_bounded(self):
         result = load_experiment("overheads").run(
             scale=SMOKE_SCALE, workloads=["silo", "xsbench"]
