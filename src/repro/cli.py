@@ -104,6 +104,7 @@ def cmd_run(args) -> int:
     spec = RunSpec(args.workload, args.policy, ratio=args.ratio,
                    capacity_kind=kind, scale=scale, seed=args.seed,
                    machine_preset=args.machine_preset,
+                   macro_batch=args.macro_batch,
                    check=args.check, snapshot_every=args.snapshot_every,
                    resume=args.resume)
     trace = _trace_config(args) if args.trace is not None else None
@@ -263,10 +264,11 @@ def cmd_trace(args) -> int:
         from repro.policies.registry import make_policy
         from repro.sim.engine import Simulation
 
-        workload = TraceWorkload(args.replay)
+        workload = TraceWorkload(args.replay,
+                                 event_accesses=args.event_accesses)
         machine = MachineSpec.from_ratio(workload.total_bytes, ratio=args.ratio)
         sim = Simulation(workload, make_policy(args.policy), machine,
-                         seed=args.seed)
+                         seed=args.seed, macro_batch=args.macro_batch)
         result = sim.run()
         print(f"replayed {result.metrics.total_accesses} accesses under "
               f"{args.policy}: hit ratio {result.fast_hit_ratio * 100:.1f}%, "
@@ -295,6 +297,11 @@ def main(argv=None) -> int:
                             "ratio machine; the ratio still sizes DRAM)")
     p_run.add_argument("--quick", action="store_true")
     p_run.add_argument("--seed", type=int, default=42)
+    p_run.add_argument("--macro-batch", type=int, default=0, metavar="N",
+                       help="coalesce consecutive access events into "
+                            "macro-batches of ~N accesses before the engine "
+                            "hot path (0 = per-event; changes sampling "
+                            "cadence, so it is part of the result identity)")
     p_run.add_argument("--no-baseline", action="store_true",
                        help="skip the all-capacity normalisation run")
     p_run.add_argument("--trace", nargs="?", const="", metavar="DIR",
@@ -370,6 +377,13 @@ def main(argv=None) -> int:
                          help="also print an ASCII event timeline")
     p_trace.add_argument("--record", metavar="PATH")
     p_trace.add_argument("--replay", metavar="PATH")
+    p_trace.add_argument("--macro-batch", type=int, default=0, metavar="N",
+                         help="replay with the macro-batch coalescer "
+                              "(~N accesses per engine batch, 0 = per-event)")
+    p_trace.add_argument("--event-accesses", type=int, default=None,
+                         metavar="N",
+                         help="re-chunk trace replay into events of at most "
+                              "N accesses (default: recorded granularity)")
     p_trace.add_argument("--quick", action="store_true")
     p_trace.add_argument("--seed", type=int, default=42)
     p_trace.set_defaults(fn=cmd_trace)

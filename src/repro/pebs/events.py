@@ -55,7 +55,14 @@ class AccessBatch:
         return int(np.count_nonzero(self.is_store))
 
     def rebased(self, base_vpn: int) -> "AccessBatch":
-        """Return a copy with vpns shifted by ``base_vpn``."""
+        """Return this batch with vpns shifted by ``base_vpn``.
+
+        A zero shift returns ``self`` (batches are treated immutably
+        throughout the engine): trace replay of a region based at vpn 0
+        then feeds memory-mapped slices straight through without a copy.
+        """
+        if base_vpn == 0:
+            return self
         return AccessBatch(self.vpn + base_vpn, self.is_store)
 
     @classmethod

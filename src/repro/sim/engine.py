@@ -35,6 +35,7 @@ from repro.obs import DEBUG, Observability
 from repro.pebs.events import AccessBatch
 from repro.pebs.sampler import PEBSSampler, SamplerConfig
 from repro.policies.base import BatchObservation, PolicyContext, TieringPolicy
+from repro.sim import macro as macro_mod
 from repro.sim.cost import BoundCostModel, CostModel
 from repro.sim.machine import MachineSpec
 from repro.sim.metrics import MetricsCollector
@@ -58,6 +59,7 @@ class SimResult:
     sampler_stats: Dict[str, float]
     wall_seconds: float
     #: Wall-time breakdown of the run's hot phases (see `Simulation`):
+    #: ``gen_ns`` (workload event generation / trace replay),
     #: ``sample_ns`` (PEBS extraction), ``tlb_ns`` (TLB simulation),
     #: ``policy_ns`` (policy observation + background daemons).
     phase_ns: Dict[str, float] = dataclasses.field(default_factory=dict)
@@ -199,6 +201,7 @@ class Simulation:
         obs: Optional[Observability] = None,
         check=None,
         faults=None,
+        macro_batch: int = 0,
     ):
         self.workload = workload
         self.policy = policy
@@ -212,8 +215,16 @@ class Simulation:
         #: page table every N batches (0 disables; expensive).
         self.validate_every = validate_every
         self._batches_processed = 0
+        #: Macro-batch coalescing target in accesses (``repro.sim.macro``):
+        #: 0 keeps the legacy per-event loop; N > 0 fuses consecutive
+        #: access events into ~N-access macro-batches, changing the
+        #: observation cadence (and therefore the spec identity).
+        if macro_batch < 0:
+            raise ValueError(f"macro_batch must be >= 0, got {macro_batch}")
+        self.macro_batch = int(macro_batch)
         #: Wall-time (ns) spent in each hot phase, for BENCH breakdowns.
-        self._phase_ns = {"sample_ns": 0.0, "tlb_ns": 0.0, "policy_ns": 0.0}
+        self._phase_ns = {"gen_ns": 0.0, "sample_ns": 0.0, "tlb_ns": 0.0,
+                         "policy_ns": 0.0}
         #: Shared observability: tracer (disabled unless the caller
         #: enables it) + counter registry for every bound component.
         self.obs = obs if obs is not None else Observability()
@@ -305,23 +316,87 @@ class Simulation:
         # survive, or a stale entry would hit on a recycled mapping.
         self.tlb.shootdown_range(region.base_vpn, region.num_vpns)
 
-    def _rebase(self, event: AccessEvent) -> AccessBatch:
-        parts = []
+    def _resolve_parts(self, event: AccessEvent):
+        """Per-segment (region, relative batch) pairs, bounds-guarded.
+
+        The ``vpn.max()`` scan is a guard against buggy out-of-tree
+        workloads; generators that declare their offsets in-range
+        (``Workload.needs_bounds_check = False`` -- every built-in
+        synthetic workload, and traces validated at record time) skip
+        it: on the hot path it is a full pass over every batch.
+        """
+        check = self.workload.needs_bounds_check
+        regions, rels = [], []
         for key, rel_batch in event.segments:
             region = self._regions.get(key)
             if region is None:
                 raise KeyError(f"access to unknown region {key!r}")
-            if len(rel_batch) and int(rel_batch.vpn.max()) >= region.num_vpns:
+            if check and len(rel_batch) \
+                    and int(rel_batch.vpn.max()) >= region.num_vpns:
                 raise IndexError(
                     f"workload access beyond region {key!r} "
                     f"({int(rel_batch.vpn.max())} >= {region.num_vpns})"
                 )
-            parts.append(rel_batch.rebased(region.base_vpn))
-        batch = AccessBatch.concat(parts)
-        if event.interleave and len(batch) > 1:
+            regions.append(region)
+            rels.append(rel_batch)
+        return regions, rels
+
+    @staticmethod
+    def _fuse_reference(regions, rels) -> AccessBatch:
+        """Per-segment rebase + concat: the executable fusion spec."""
+        return AccessBatch.concat(
+            [rel.rebased(region.base_vpn)
+             for region, rel in zip(regions, rels)]
+        )
+
+    @staticmethod
+    def _fuse_staged(regions, rels) -> AccessBatch:
+        """Grouped whole-array fusion: one concat + one base-vector add.
+
+        Bit-identical to :meth:`_fuse_reference` (integer ops, same
+        order); enforced per macro-batch in validate mode and end to
+        end by ``tests/test_macro_batch.py``.
+        """
+        if len(rels) == 1:
+            return rels[0].rebased(regions[0].base_vpn)
+        vpn = np.concatenate([rel.vpn for rel in rels])
+        bases = np.repeat(
+            np.array([region.base_vpn for region in regions], dtype=np.int64),
+            [len(rel) for rel in rels],
+        )
+        np.add(vpn, bases, out=vpn)  # fresh concat buffer: safe in place
+        is_store = np.concatenate([rel.is_store for rel in rels])
+        return AccessBatch(vpn, is_store)
+
+    def _interleave(self, batch: AccessBatch, interleave: bool) -> AccessBatch:
+        if interleave and len(batch) > 1:
             order = self.rng.permutation(len(batch))
             batch = AccessBatch(batch.vpn[order], batch.is_store[order])
         return batch
+
+    def _rebase(self, event: AccessEvent) -> AccessBatch:
+        regions, rels = self._resolve_parts(event)
+        return self._interleave(
+            self._fuse_reference(regions, rels), event.interleave
+        )
+
+    def _rebase_macro(self, event: AccessEvent) -> AccessBatch:
+        """Fuse one macro-batch under the active macro fusion mode."""
+        regions, rels = self._resolve_parts(event)
+        mode = macro_mod.active_mode()
+        if mode == macro_mod.REFERENCE:
+            batch = self._fuse_reference(regions, rels)
+        else:
+            batch = self._fuse_staged(regions, rels)
+            if mode == macro_mod.VALIDATE:
+                ref = self._fuse_reference(regions, rels)
+                if not (np.array_equal(batch.vpn, ref.vpn)
+                        and np.array_equal(batch.is_store, ref.is_store)):
+                    raise AssertionError(
+                        "staged macro fusion diverged from the per-event "
+                        "reference"
+                    )
+        return self._interleave(batch, event.interleave)
 
     def _process_batch(self, batch: AccessBatch) -> None:
         n = len(batch)
@@ -342,13 +417,17 @@ class Simulation:
         # maps a fresh zero base page (minor-fault cost, charged below).
         tier_per_access = space.page_tier[batch.vpn]
         demand_fault_ns = 0.0
-        if np.any(tier_per_access < 0):
-            missing = np.unique(batch.vpn[tier_per_access < 0])
+        miss_pos = tier_per_access < 0
+        if np.any(miss_pos):
+            missing = np.unique(batch.vpn[miss_pos])
             preferred = self.policy.choose_alloc_tier(len(missing) * 4096)
             space.demand_map_many(missing, preferred)
             self.policy.on_demand_map(missing)
             demand_fault_ns = self.bound_cost.fault_ns(len(missing))
-            tier_per_access = space.page_tier[batch.vpn]
+            # Patch only the positions that missed: every other entry of
+            # the gather is still valid, so re-reading the whole batch
+            # from ``page_tier`` was pure overhead.
+            tier_per_access[miss_pos] = space.page_tier[batch.vpn[miss_pos]]
             if tracer.enabled_for("engine", DEBUG):
                 tracer.emit("engine", "demand_map", DEBUG,
                             pages=len(missing), fault_ns=demand_fault_ns)
@@ -520,6 +599,9 @@ class Simulation:
         self._epoch_index = state["epoch_index"]
         self._epoch_start_ns = state["epoch_start_ns"]
         self._phase_ns = dict(state["phase_ns"])
+        # Checkpoints written before the macro-batch engine predate the
+        # generation phase counter.
+        self._phase_ns.setdefault("gen_ns", 0.0)
         self._events_consumed = state["events_consumed"]
         self.rng.bit_generator.state = state["rng"]
         self.ctx.rng.bit_generator.state = state["ctx_rng"]
@@ -542,14 +624,75 @@ class Simulation:
 
     # -- driver ------------------------------------------------------------------
 
+    def _run_per_event(self, events, skip: int, budget: float) -> None:
+        """The legacy loop: one engine round trip per workload event."""
+        phase = self._phase_ns
+        while True:
+            t0 = time.perf_counter_ns()
+            event = next(events, None)
+            phase["gen_ns"] += time.perf_counter_ns() - t0
+            if event is None:
+                break
+            if skip > 0:
+                skip -= 1
+                continue
+            self._events_consumed += 1
+            if isinstance(event, AllocEvent):
+                self._handle_alloc(event)
+            elif isinstance(event, FreeEvent):
+                self._handle_free(event)
+            elif isinstance(event, AccessEvent):
+                self._process_batch(self._rebase(event))
+                if self.metrics.total_accesses >= budget:
+                    break
+            else:
+                raise TypeError(f"unknown workload event {event!r}")
+
+    def _run_macro(self, events, skip: int, budget: float) -> None:
+        """The streamed loop: whole-array stages once per macro-batch.
+
+        The coalescer pulls ahead of processing by at most the pending
+        group; ``_events_consumed`` counts only events folded into
+        *processed* items, so checkpoints taken inside
+        ``_process_batch`` describe a position the coalescer can
+        deterministically restart from (fusion boundaries depend only
+        on the stream from the restart point).
+        """
+        phase = self._phase_ns
+        while skip > 0:
+            # Resume on a non-seekable workload: regenerate and drop the
+            # consumed prefix (seekable workloads fast-forwarded already).
+            t0 = time.perf_counter_ns()
+            event = next(events, None)
+            phase["gen_ns"] += time.perf_counter_ns() - t0
+            if event is None:
+                return
+            skip -= 1
+        coalescer = macro_mod.EventCoalescer(
+            events, target=self.macro_batch, phase_ns=phase
+        )
+        for item in coalescer:
+            self._events_consumed += item.events_fused
+            event = item.event
+            if isinstance(event, AllocEvent):
+                self._handle_alloc(event)
+            elif isinstance(event, FreeEvent):
+                self._handle_free(event)
+            else:
+                self._process_batch(self._rebase_macro(event))
+                if self.metrics.total_accesses >= budget:
+                    break
+
     def run(self, max_accesses: Optional[int] = None) -> SimResult:
         """Drive the workload to completion (or an access budget).
 
-        Resume: event streams are regenerated deterministically from the
-        seed, so after ``load_state`` the first ``_events_consumed``
-        events -- whose effects are already in the restored state -- are
-        skipped without processing (consuming no engine RNG), and the
-        run continues bit-identically from the checkpointed epoch.
+        Resume: seekable workloads (recorded traces) fast-forward their
+        cursor by the consumed event count without regenerating; other
+        event streams are regenerated deterministically from the seed
+        and the first ``_events_consumed`` events -- whose effects are
+        already in the restored state -- are skipped without processing
+        (consuming no engine RNG).  Either way the run continues
+        bit-identically from the checkpointed epoch.
         """
         budget = max_accesses if max_accesses is not None else float("inf")
         wall_start = time.perf_counter()
@@ -558,23 +701,14 @@ class Simulation:
         # budget must not process further events (the original run broke
         # out of the loop at that point).  Fresh runs always enter.
         if skip == 0 or self.metrics.total_accesses < budget:
-            for event in self.workload.events(
-                np.random.default_rng(self.seed + 2)
-            ):
-                if skip > 0:
-                    skip -= 1
-                    continue
-                self._events_consumed += 1
-                if isinstance(event, AllocEvent):
-                    self._handle_alloc(event)
-                elif isinstance(event, FreeEvent):
-                    self._handle_free(event)
-                elif isinstance(event, AccessEvent):
-                    self._process_batch(self._rebase(event))
-                    if self.metrics.total_accesses >= budget:
-                        break
-                else:
-                    raise TypeError(f"unknown workload event {event!r}")
+            if skip > 0 and hasattr(self.workload, "seek_events"):
+                self.workload.seek_events(skip)
+                skip = 0
+            events = self.workload.events(np.random.default_rng(self.seed + 2))
+            if self.macro_batch > 0:
+                self._run_macro(events, skip, budget)
+            else:
+                self._run_per_event(events, skip, budget)
         # Close the tail window so timelines always cover the full run,
         # even when the last interval is shorter than the period.
         if self.metrics.finalize(

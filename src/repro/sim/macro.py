@@ -1,0 +1,190 @@
+"""Macro-batch event coalescing: the streamed engine hot path.
+
+The engine historically consumed one ~32k-access :class:`AccessEvent`
+at a time, paying a fixed per-event Python round trip (rebase ->
+``_process_batch`` -> policy observation -> daemon ticks) that caps
+throughput long before the array work does.  The
+:class:`EventCoalescer` restructures the stream: consecutive access
+events are fused into one large contiguous macro-batch (target size
+configurable via ``RunSpec.macro_batch``), so every whole-array stage
+-- rebase, demand mapping, cost accounting, TLB substream, sampling,
+policy observation -- runs once per macro-batch instead of once per
+32k accesses.
+
+Semantics
+---------
+``macro_batch = 0`` (the default everywhere) is the legacy per-event
+loop, bit-for-bit.  ``macro_batch = N > 0`` is a *different cadence*:
+the policy observes fewer, larger batches, daemons tick once per
+macro-batch of virtual time, and interleaved events shuffle at fused
+granularity.  Results therefore legitimately differ from the per-event
+cadence, and ``macro_batch`` is part of the ``RunSpec`` cache identity.
+
+What *is* guaranteed bit-identical -- enforced by
+``tests/test_macro_batch.py`` in both kernel modes under strict checks
+-- is the staged fused path against the per-event reference fusion at
+the same macro cadence:
+
+* **staged** (default): the engine fuses a macro-batch with one
+  grouped rebase (single concatenate + ``np.repeat`` base vector);
+* **reference**: the original per-segment loop (`rebased()` per part +
+  ``AccessBatch.concat``), kept as the executable specification;
+* **validate**: run both on every macro-batch and assert identical
+  arrays (debugging aid, mirrors ``REPRO_SCALAR_KERNELS=validate``).
+
+Epoch/snapshot/sanitizer boundaries are macro-batch aligned: a fused
+batch is processed by the very same ``_process_batch``, so
+``_close_epoch``, checkpointing and fault-injection timing fire at
+batch boundaries exactly as they do per-event -- and identically
+between the staged and reference paths, across kernel modes, and
+through kill/resume.
+
+Mode selection (``REPRO_MACRO_KERNELS``): unset / ``staged`` --
+staged fusion (default); ``reference`` -- per-event reference fusion;
+``validate`` -- both + assert.  Only consulted when ``macro_batch > 0``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+from repro.workloads.base import (
+    AccessEvent,
+    AllocEvent,
+    FreeEvent,
+    WorkloadEvent,
+)
+
+#: Mode names (the ``REPRO_MACRO_KERNELS`` values they correspond to).
+STAGED = "staged"
+REFERENCE = "reference"
+VALIDATE = "validate"
+
+_MODES = (STAGED, REFERENCE, VALIDATE)
+
+#: Default macro-batch size when a caller enables coalescing without a
+#: size (CLI ``--macro-batch 0`` stays off; benchmarks and tests use
+#: this).  256k accesses measured fastest on the trace-replay hot path
+#: -- large enough to amortise per-batch Python, small enough that the
+#: per-access temporaries stay cache-friendly (1M-access batches were
+#: ~35% slower end to end).
+DEFAULT_MACRO_BATCH = 262_144
+
+_forced: Optional[str] = None
+
+
+def active_mode() -> str:
+    """Resolve the macro fusion mode for this call (forced > env)."""
+    if _forced is not None:
+        return _forced
+    env = os.environ.get("REPRO_MACRO_KERNELS", "").strip().lower()
+    if env in ("", "0", "staged"):
+        return STAGED
+    if env == "validate":
+        return VALIDATE
+    return REFERENCE
+
+
+@contextmanager
+def forced(mode: str) -> Iterator[None]:
+    """Pin the macro fusion mode within a ``with`` block (tests)."""
+    if mode not in _MODES:
+        raise ValueError(f"unknown macro mode {mode!r}; expected {_MODES}")
+    global _forced
+    prev = _forced
+    _forced = mode
+    try:
+        yield
+    finally:
+        _forced = prev
+
+
+@dataclass
+class CoalescedEvent:
+    """One engine-facing item: a passthrough event or a fused batch.
+
+    ``events_fused`` is the number of underlying workload events this
+    item consumes -- the engine advances ``_events_consumed`` by it, so
+    resume bookkeeping stays in workload-event units regardless of
+    fusion.
+    """
+
+    event: WorkloadEvent
+    events_fused: int = 1
+
+
+class EventCoalescer:
+    """Fuse consecutive access events into macro-batches.
+
+    Wraps a workload event iterator.  Access events accumulate until
+    the pending group reaches ``target`` accesses; alloc/free events
+    are barriers (region bases may change across them), flushing the
+    pending group before passing through.  A fused event concatenates
+    the constituent segment lists in order -- per-access order within
+    the macro-batch is exactly the per-event order -- and is
+    interleaved if any constituent was.
+
+    Fusion boundaries are a pure function of the event stream from the
+    coalescer's start position, which makes them deterministic across
+    checkpoint/resume: the engine only checkpoints between coalesced
+    items, so a resumed coalescer starting after the last consumed
+    workload event reproduces the original boundaries.
+
+    Wall time spent pulling from the underlying generator is
+    accumulated into ``phase_ns["gen_ns"]`` when a phase dict is given.
+    """
+
+    def __init__(self, events: Iterator[WorkloadEvent], target: int,
+                 phase_ns: Optional[dict] = None):
+        if target <= 0:
+            raise ValueError(f"macro-batch target must be > 0, got {target}")
+        self._events = events
+        self.target = int(target)
+        self._phase_ns = phase_ns
+
+    def _pull(self) -> Union[WorkloadEvent, None]:
+        if self._phase_ns is None:
+            return next(self._events, None)
+        t0 = time.perf_counter_ns()
+        event = next(self._events, None)
+        self._phase_ns["gen_ns"] += time.perf_counter_ns() - t0
+        return event
+
+    @staticmethod
+    def _fuse(pending) -> CoalescedEvent:
+        if len(pending) == 1:
+            return CoalescedEvent(pending[0], 1)
+        segments = [seg for event in pending for seg in event.segments]
+        interleave = any(event.interleave for event in pending)
+        return CoalescedEvent(
+            AccessEvent(segments, interleave=interleave), len(pending)
+        )
+
+    def __iter__(self) -> Iterator[CoalescedEvent]:
+        pending = []
+        pending_accesses = 0
+        while True:
+            event = self._pull()
+            if event is None:
+                break
+            if isinstance(event, AccessEvent):
+                pending.append(event)
+                pending_accesses += event.num_accesses
+                if pending_accesses >= self.target:
+                    yield self._fuse(pending)
+                    pending = []
+                    pending_accesses = 0
+            elif isinstance(event, (AllocEvent, FreeEvent)):
+                if pending:
+                    yield self._fuse(pending)
+                    pending = []
+                    pending_accesses = 0
+                yield CoalescedEvent(event, 1)
+            else:
+                raise TypeError(f"unknown workload event {event!r}")
+        if pending:
+            yield self._fuse(pending)

@@ -135,6 +135,15 @@ class RunSpec:
     #: the cache key) only when set, so every historical spec keeps its
     #: ``to_dict()`` layout and ``cache_key()`` unchanged.
     machine_preset: Optional[str] = None
+    #: Macro-batch coalescing target in accesses (``repro.sim.macro``):
+    #: 0 (default) keeps the legacy per-event engine loop; N > 0 fuses
+    #: consecutive access events into ~N-access macro-batches.  This
+    #: changes the observation cadence -- policies see fewer, larger
+    #: batches -- so unlike ``check``/``snapshot_every`` it IS part of
+    #: the cache identity.  Serialized (and hashed) only when nonzero,
+    #: so historical specs keep their exact ``to_dict()`` layout and
+    #: ``cache_key()``.
+    macro_batch: int = 0
 
     def __post_init__(self):
         if self.check not in (None, "off", "end", "epoch", "strict"):
@@ -145,6 +154,10 @@ class RunSpec:
         if self.snapshot_every < 0:
             raise ValueError(
                 f"snapshot_every must be >= 0, got {self.snapshot_every}"
+            )
+        if self.macro_batch < 0:
+            raise ValueError(
+                f"macro_batch must be >= 0, got {self.macro_batch}"
             )
         if self.scale is None:
             object.__setattr__(self, "scale", DEFAULT_SCALE)
@@ -234,6 +247,7 @@ class RunSpec:
             workload, policy, machine, seed=self.seed,
             force_base_pages=self.force_base_pages, obs=obs,
             check=self.check, faults=faults,
+            macro_batch=self.macro_batch,
         )
 
     def execute(
@@ -295,8 +309,9 @@ class RunSpec:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe dict capturing every result-relevant field.
 
-        ``machine_preset`` is emitted only when set: historical two-tier
-        specs keep their exact serialized layout (and cache keys).
+        ``machine_preset`` and ``macro_batch`` are emitted only when
+        set: historical specs keep their exact serialized layout (and
+        cache keys).
         """
         d = {
             "workload": self.workload,
@@ -315,6 +330,8 @@ class RunSpec:
         }
         if self.machine_preset is not None:
             d["machine_preset"] = self.machine_preset
+        if self.macro_batch:
+            d["macro_batch"] = self.macro_batch
         return d
 
     @classmethod

@@ -82,6 +82,13 @@ class Workload(abc.ABC):
     paper_rhp: float = 1.0
     #: One-line description (Table 2's right column).
     description: str = ""
+    #: When True (safe default) the engine bounds-scans every access
+    #: segment against its region before rebasing.  Workloads whose
+    #: generators only emit offsets inside the regions they themselves
+    #: sized set this False: the per-event ``vpn.max()`` scan is pure
+    #: hot-path overhead then.  Recorded traces earn it at record time
+    #: (``bounds_valid`` in the trace metadata).
+    needs_bounds_check: bool = True
 
     def __init__(self, total_bytes: int, total_accesses: int,
                  batch_size: int = 32_768):

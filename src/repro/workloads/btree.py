@@ -30,6 +30,9 @@ class BtreeWorkload(Workload):
     paper_rss_gb = 38.3
     paper_rhp = 0.752
     description = "In-memory index lookup benchmark"
+    # Offsets are generated against the regions this workload sizes
+    # itself, so the engine's per-segment bounds scan is redundant.
+    needs_bounds_check = False
 
     TOUCHED_FRACTION = 0.40  # 15.2 GB touched / 38.3 GB mapped
     ZIPF_ALPHA = 0.8

@@ -32,6 +32,9 @@ class LiblinearWorkload(Workload):
     paper_rss_gb = 67.9
     paper_rhp = 0.999
     description = "Linear classification of a large data set (KDD12)"
+    # Offsets are generated against the regions this workload sizes
+    # itself, so the engine's per-segment bounds scan is redundant.
+    needs_bounds_check = False
 
     def __init__(self, total_bytes: int, total_accesses: int, **kwargs):
         super().__init__(total_bytes, total_accesses, **kwargs)

@@ -40,6 +40,9 @@ class BwavesWorkload(Workload):
     paper_rss_gb = 11.1
     paper_rhp = 0.995
     description = "Explosion modeling (SPEC CPU 2017)"
+    # Offsets are generated against the regions this workload sizes
+    # itself, so the engine's per-segment bounds scan is redundant.
+    needs_bounds_check = False
 
     GENERATIONS = 8
     SCRATCH_FRACTION = 0.06   # scratch size relative to total
@@ -99,6 +102,9 @@ class RomsWorkload(Workload):
     paper_rss_gb = 10.3
     paper_rhp = 0.966
     description = "Regional ocean modeling (SPEC CPU 2017)"
+    # Offsets are generated against the regions this workload sizes
+    # itself, so the engine's per-segment bounds scan is redundant.
+    needs_bounds_check = False
 
     #: (share of RSS, share of accesses) for each state array.
     ARRAYS = [(0.30, 0.12), (0.25, 0.10), (0.22, 0.08), (0.20, 0.10)]

@@ -1,14 +1,19 @@
-"""Trace recording and replay.
+"""Trace recording and replay (streamed, memory-mapped).
 
-Any workload's event stream can be serialised to a compact ``.npz``
-trace and replayed later — useful for (a) bit-identical comparisons
-across policies without regenerating the synthetic stream, (b) sharing
+Any workload's event stream can be serialised to a compact trace and
+replayed later — useful for (a) bit-identical comparisons across
+policies without regenerating the synthetic stream, (b) sharing
 workloads, and (c) plugging *real* traces (e.g. converted PEBS dumps)
-into the simulator: build the same npz layout and
-:class:`TraceWorkload` will drive it.
+into the simulator: build the same layout and :class:`TraceWorkload`
+will drive it.
 
-Format (single ``.npz``):
+Format v2 (default) — one small metadata ``.npz`` plus two
+memory-mappable ``.npy`` sidecars next to it:
 
+``<name>.npz`` (metadata, loaded in RAM; everything scales with event
+count, not access count):
+
+* ``format_version``  int      -- 2
 * ``event_kind``  int8[E]   -- 0 alloc, 1 free, 2 access
 * ``event_arg``   int64[E]  -- alloc: nbytes; free: 0; access: segment count
 * ``event_key``   str[E]    -- region key for alloc/free, "" for access
@@ -16,12 +21,28 @@ Format (single ``.npz``):
 * ``seg_key``     str[S]    -- region key per access segment
 * ``seg_len``     int64[S]  -- accesses per segment
 * ``seg_interleave`` bool[S]
-* ``vpn``         int64[N]  -- concatenated region-relative offsets
-* ``is_store``    bool[N]
+* ``total_bytes`` / ``total_accesses``
+* ``bounds_valid`` bool     -- every offset verified < its region's
+  page count at record time, so the engine can skip its per-segment
+  bounds scan on replay
+
+``<name>.vpn.npy`` (int64[N]) and ``<name>.st.npy`` (bool[N]) hold the
+concatenated region-relative offsets and store flags.  They are written
+*streaming* — the recorder never materialises the access stream — and
+replayed through ``np.load(mmap_mode="r")``, so traces larger than RAM
+record and replay in bounded memory.  The replay cursor releases fully
+consumed pages back to the OS (``madvise(MADV_DONTNEED)``) so peak RSS
+stays bounded by the release window, not the trace size.
+
+Format v1 (single ``.npz`` holding ``vpn``/``is_store`` inline) is
+still read transparently; pass ``format_version=1`` to
+:func:`record_trace` to write it.
 """
 
 from __future__ import annotations
 
+import mmap as _mmap
+import struct
 from typing import Iterator, Optional
 
 import numpy as np
@@ -31,13 +52,146 @@ from repro.workloads.base import AccessEvent, AllocEvent, FreeEvent, Workload
 
 KIND_ALLOC, KIND_FREE, KIND_ACCESS = 0, 1, 2
 
+#: Bump when the on-disk layout changes incompatibly.
+TRACE_FORMAT_VERSION = 2
+
+#: Fixed byte length of the streamed-``.npy`` header (magic + version +
+#: header-length field + padded dict).  Reserving a constant size lets
+#: the writer patch the true element count into the header on close
+#: without rewriting the data.
+_NPY_HEADER_LEN = 128
+
+
+def _sidecar_paths(path: str):
+    meta_path = path if str(path).endswith(".npz") else str(path) + ".npz"
+    base = meta_path[: -len(".npz")]
+    return meta_path, base + ".vpn.npy", base + ".st.npy"
+
+
+def _npy_header(dtype: np.dtype, count: int) -> bytes:
+    """A fixed-width v1.0 ``.npy`` header for a 1-D array of ``count``."""
+    descr = np.lib.format.dtype_to_descr(np.dtype(dtype))
+    body = ("{'descr': %r, 'fortran_order': False, 'shape': (%d,), }"
+            % (descr, count))
+    pad = _NPY_HEADER_LEN - 10 - 1 - len(body)
+    if pad < 0:
+        raise ValueError(f"npy header too long for {descr!r} x {count}")
+    body = body + " " * pad + "\n"
+    return (b"\x93NUMPY" + bytes([1, 0])
+            + struct.pack("<H", len(body)) + body.encode("latin1"))
+
+
+class NpyStreamWriter:
+    """Append-only ``.npy`` writer with a header patched on close.
+
+    The element count is unknown until the stream ends, so a
+    placeholder header is written first and overwritten (same byte
+    length) once the count is final.  The result is a completely
+    standard ``.npy`` file that ``np.load(mmap_mode="r")`` maps
+    directly.
+    """
+
+    def __init__(self, path: str, dtype):
+        self.path = str(path)
+        self.dtype = np.dtype(dtype)
+        self.count = 0
+        self._f = open(self.path, "wb")
+        self._f.write(_npy_header(self.dtype, 0))
+
+    def append(self, values: np.ndarray) -> None:
+        arr = np.ascontiguousarray(values, dtype=self.dtype)
+        self._f.write(memoryview(arr))
+        self.count += len(arr)
+
+    def close(self) -> None:
+        self._f.flush()
+        self._f.seek(0)
+        self._f.write(_npy_header(self.dtype, self.count))
+        self._f.close()
+
 
 def record_trace(workload: Workload, path: str, seed: int = 42,
-                 max_accesses: Optional[int] = None) -> dict:
+                 max_accesses: Optional[int] = None,
+                 format_version: int = TRACE_FORMAT_VERSION) -> dict:
     """Run ``workload``'s generator and save its event stream.
 
-    Returns a small stats dict (events, accesses).
+    Returns a small stats dict (events, accesses).  The default v2
+    format streams the access arrays to the ``.npy`` sidecars as they
+    are generated: recording memory is bounded by the event metadata,
+    not the access count.
     """
+    if format_version not in (1, TRACE_FORMAT_VERSION):
+        raise ValueError(f"unknown trace format version {format_version}")
+    if format_version == 1:
+        return _record_trace_v1(workload, path, seed, max_accesses)
+
+    meta_path, vpn_path, st_path = _sidecar_paths(path)
+    kinds, args, keys, thps = [], [], [], []
+    seg_keys, seg_lens, seg_inter = [], [], []
+    vpn_w = NpyStreamWriter(vpn_path, np.int64)
+    st_w = NpyStreamWriter(st_path, bool)
+    accesses = 0
+    # Conservative per-region page counts (no 2 MiB round-up): offsets
+    # verified against these can never trip the engine's bounds guard,
+    # so replay may skip the per-segment scan (``bounds_valid``).
+    region_pages = {}
+    bounds_valid = True
+
+    try:
+        for event in workload.events(np.random.default_rng(seed)):
+            if isinstance(event, AllocEvent):
+                kinds.append(KIND_ALLOC)
+                args.append(event.nbytes)
+                keys.append(event.key)
+                thps.append(event.thp)
+                region_pages[event.key] = -(-event.nbytes // 4096)
+            elif isinstance(event, FreeEvent):
+                kinds.append(KIND_FREE)
+                args.append(0)
+                keys.append(event.key)
+                thps.append(False)
+                region_pages.pop(event.key, None)
+            elif isinstance(event, AccessEvent):
+                kinds.append(KIND_ACCESS)
+                args.append(len(event.segments))
+                keys.append("")
+                thps.append(False)
+                for key, batch in event.segments:
+                    seg_keys.append(key)
+                    seg_lens.append(len(batch))
+                    seg_inter.append(event.interleave)
+                    if len(batch):
+                        limit = region_pages.get(key)
+                        if limit is None or int(batch.vpn.max()) >= limit:
+                            bounds_valid = False
+                    vpn_w.append(batch.vpn)
+                    st_w.append(batch.is_store)
+                    accesses += len(batch)
+            if max_accesses is not None and accesses >= max_accesses:
+                break
+    finally:
+        vpn_w.close()
+        st_w.close()
+
+    np.savez_compressed(
+        meta_path,
+        format_version=np.int64(TRACE_FORMAT_VERSION),
+        event_kind=np.array(kinds, dtype=np.int8),
+        event_arg=np.array(args, dtype=np.int64),
+        event_key=np.array(keys, dtype=object),
+        event_thp=np.array(thps, dtype=bool),
+        seg_key=np.array(seg_keys, dtype=object),
+        seg_len=np.array(seg_lens, dtype=np.int64),
+        seg_interleave=np.array(seg_inter, dtype=bool),
+        total_bytes=np.int64(workload.total_bytes),
+        total_accesses=np.int64(accesses),
+        bounds_valid=np.bool_(bounds_valid),
+    )
+    return {"events": len(kinds), "accesses": accesses}
+
+
+def _record_trace_v1(workload, path, seed, max_accesses) -> dict:
+    """The historical in-memory single-``.npz`` recorder."""
     kinds, args, keys, thps = [], [], [], []
     seg_keys, seg_lens, seg_inter = [], [], []
     vpn_parts, store_parts = [], []
@@ -89,52 +243,204 @@ def record_trace(workload: Workload, path: str, seed: int = 42,
 
 
 class TraceWorkload(Workload):
-    """Replays a trace recorded with :func:`record_trace`."""
+    """Replays a trace recorded with :func:`record_trace`.
+
+    v2 traces replay through memory-mapped sidecars: each emitted
+    :class:`AccessBatch` is a zero-copy slice of the mapped file, and a
+    chunk cursor tracks the replay position in *replayed events* —
+    checkpointable via :meth:`state_dict`/:meth:`load_state` and
+    seekable in O(log E) via :meth:`seek_events` (the engine uses this
+    to fast-forward a resumed run without regenerating skipped events).
+
+    ``event_accesses`` re-chunks replay granularity: access events are
+    split into consecutive events of at most that many accesses
+    (segments sliced across the boundary, per-access order preserved).
+    Real traces — PEBS-style dumps — arrive at whatever granularity the
+    collector used; this knob decouples replay cadence from it, and the
+    benchmark harness uses it to model fine-grained traces.
+
+    ``release_mb`` (v2 + mmap only): after roughly that many megabytes
+    of trace have been consumed, fully-read pages are released with
+    ``madvise(MADV_DONTNEED)`` so peak RSS stays bounded for traces
+    larger than RAM (0 disables).  Released pages re-fault from the
+    file on re-access, so correctness never depends on it.
+    """
 
     name = "trace"
     paper_rss_gb = 0.0
 
-    def __init__(self, path: str):
-        data = np.load(path, allow_pickle=True)
+    def __init__(self, path: str, event_accesses: Optional[int] = None,
+                 mmap: bool = True, release_mb: int = 64):
+        meta_path, vpn_path, st_path = _sidecar_paths(path)
+        meta = np.load(meta_path, allow_pickle=True)
+        version = (int(meta["format_version"])
+                   if "format_version" in meta.files else 1)
         super().__init__(
-            total_bytes=int(data["total_bytes"]),
-            total_accesses=max(1, int(data["total_accesses"])),
+            total_bytes=int(meta["total_bytes"]),
+            total_accesses=max(1, int(meta["total_accesses"])),
         )
+        if event_accesses is not None and event_accesses <= 0:
+            raise ValueError(
+                f"event_accesses must be positive, got {event_accesses}"
+            )
         self.path = path
-        self._data = data
+        self.format_version = version
+        self.event_accesses = event_accesses
+        self._mmap = bool(mmap) and version >= 2
+        self._release_bytes = int(release_mb) * 1024 * 1024
+        self._released_accesses = 0
+
+        self._kinds = meta["event_kind"]
+        self._args = meta["event_arg"]
+        self._keys = meta["event_key"]
+        self._thps = meta["event_thp"]
+        self._seg_key = meta["seg_key"]
+        self._seg_len = meta["seg_len"]
+        self._seg_inter = meta["seg_interleave"]
+        if version == 1:
+            self._vpn = meta["vpn"]
+            self._is_store = meta["is_store"]
+        else:
+            mode = "r" if self._mmap else None
+            self._vpn = np.load(vpn_path, mmap_mode=mode)
+            self._is_store = np.load(st_path, mmap_mode=mode)
+            if bool(meta.get("bounds_valid", False)):
+                # Offsets were verified against their regions at record
+                # time; the engine's per-segment scan is redundant.
+                self.needs_bounds_check = False
+
+        # Replay index: per-event segment spans, per-segment access
+        # spans, and per-event replayed-chunk counts (all O(E + S)).
+        kinds = np.asarray(self._kinds)
+        nseg = np.where(kinds == KIND_ACCESS,
+                        np.asarray(self._args, dtype=np.int64), 0)
+        self._ev_seg_start = np.concatenate(
+            [[0], np.cumsum(nseg)]).astype(np.int64)
+        self._seg_vpn_start = np.concatenate(
+            [[0], np.cumsum(np.asarray(self._seg_len, dtype=np.int64))]
+        ).astype(np.int64)
+        ev_accesses = (
+            self._seg_vpn_start[self._ev_seg_start[1:]]
+            - self._seg_vpn_start[self._ev_seg_start[:-1]]
+        )
+        if event_accesses is None:
+            chunks = np.ones(len(kinds), dtype=np.int64)
+        else:
+            chunks = np.maximum(
+                1, -(-ev_accesses // int(event_accesses)))
+            chunks[kinds != KIND_ACCESS] = 1
+        self._ev_chunks = chunks
+        self._replay_start = np.concatenate(
+            [[0], np.cumsum(chunks)]).astype(np.int64)
+        #: Replayed-event cursor: ``_start`` is where the next
+        #: ``events()`` call begins (one-shot, then resets to 0);
+        #: ``_cursor`` tracks the live iteration for ``state_dict``.
+        self._start = 0
+        self._cursor = 0
+
+    @property
+    def num_replay_events(self) -> int:
+        """Total events :meth:`events` yields at this granularity."""
+        return int(self._replay_start[-1])
+
+    # -- cursor ------------------------------------------------------------
+
+    def seek_events(self, num_events: int) -> None:
+        """Fast-forward the next :meth:`events` call past ``num_events``
+        replayed events (O(log E); nothing is generated or read)."""
+        if num_events < 0:
+            raise ValueError(f"cannot seek to {num_events}")
+        self._start = int(num_events)
+
+    def state_dict(self) -> dict:
+        """Checkpointable chunk cursor (position in replayed events)."""
+        return {"next_event": int(self._cursor)}
+
+    def load_state(self, state: dict) -> None:
+        self.seek_events(int(state["next_event"]))
+
+    # -- replay ------------------------------------------------------------
+
+    def _maybe_release(self, consumed_accesses: int) -> None:
+        """Drop fully consumed mmap pages from RSS (v2 + mmap only)."""
+        if not self._mmap or self._release_bytes <= 0:
+            return
+        if ((consumed_accesses - self._released_accesses) * 9
+                < self._release_bytes):
+            return
+        self._released_accesses = consumed_accesses
+        for arr in (self._vpn, self._is_store):
+            mm = getattr(arr, "_mmap", None)
+            if mm is None or not hasattr(mm, "madvise") \
+                    or not hasattr(_mmap, "MADV_DONTNEED"):
+                return
+            data_off = int(getattr(arr, "offset", 0)) % _mmap.ALLOCATIONGRANULARITY
+            end = data_off + consumed_accesses * arr.itemsize
+            end -= end % _mmap.PAGESIZE
+            if end > 0:
+                mm.madvise(_mmap.MADV_DONTNEED, 0, end)
 
     def events(self, rng: np.random.Generator) -> Iterator[object]:
-        data = self._data
-        seg_cursor = 0
-        vpn_cursor = 0
-        seg_key = data["seg_key"]
-        seg_len = data["seg_len"]
-        seg_inter = data["seg_interleave"]
-        vpn = data["vpn"]
-        is_store = data["is_store"]
-        for kind, arg, key, thp in zip(
-            data["event_kind"], data["event_arg"],
-            data["event_key"], data["event_thp"],
-        ):
+        start = self._start
+        self._start = 0
+        self._cursor = start
+        if start >= self.num_replay_events and self.num_replay_events:
+            return
+        kinds, args = self._kinds, self._args
+        keys, thps = self._keys, self._thps
+        seg_key, seg_inter = self._seg_key, self._seg_inter
+        ev_seg_start, svs = self._ev_seg_start, self._seg_vpn_start
+        replay_start = self._replay_start
+        vpn, is_store = self._vpn, self._is_store
+        g = self.event_accesses
+
+        first = int(np.searchsorted(replay_start, start, side="right")) - 1
+        first = max(0, first)
+        for i in range(first, len(kinds)):
+            kind = int(kinds[i])
+            # The cursor counts *delivered* events, so it is bumped
+            # before each yield: while the generator is suspended the
+            # consumer has already received (and may checkpoint after)
+            # that event.
             if kind == KIND_ALLOC:
-                yield AllocEvent(str(key), int(arg), thp=bool(thp))
-            elif kind == KIND_FREE:
-                yield FreeEvent(str(key))
-            else:
-                segments = []
-                interleave = False
-                for _ in range(int(arg)):
-                    n = int(seg_len[seg_cursor])
-                    segments.append(
-                        (
-                            str(seg_key[seg_cursor]),
-                            AccessBatch(
-                                vpn[vpn_cursor : vpn_cursor + n],
-                                is_store[vpn_cursor : vpn_cursor + n],
-                            ),
-                        )
-                    )
-                    interleave = bool(seg_inter[seg_cursor])
-                    seg_cursor += 1
-                    vpn_cursor += n
+                self._cursor += 1
+                yield AllocEvent(str(keys[i]), int(args[i]),
+                                 thp=bool(thps[i]))
+                continue
+            if kind == KIND_FREE:
+                self._cursor += 1
+                yield FreeEvent(str(keys[i]))
+                continue
+            s0, s1 = int(ev_seg_start[i]), int(ev_seg_start[i + 1])
+            a0, a1 = int(svs[s0]), int(svs[s1])
+            interleave = bool(seg_inter[s1 - 1]) if s1 > s0 else False
+            if g is None:
+                # Native granularity: reconstruct the recorded event
+                # exactly (zero-length segments included).
+                segments = [
+                    (str(seg_key[j]),
+                     AccessBatch(vpn[svs[j]:svs[j + 1]],
+                                 is_store[svs[j]:svs[j + 1]]))
+                    for j in range(s0, s1)
+                ]
+                self._cursor += 1
                 yield AccessEvent(segments, interleave=interleave)
+            else:
+                chunk0 = start - int(replay_start[i]) if i == first else 0
+                for c in range(chunk0, int(self._ev_chunks[i])):
+                    lo = a0 + c * g
+                    hi = min(a1, lo + g)
+                    j = int(np.searchsorted(svs[s0:s1 + 1], lo,
+                                            side="right")) - 1 + s0
+                    segments = []
+                    while j < s1 and int(svs[j]) < hi:
+                        sa, sb = max(lo, int(svs[j])), min(hi, int(svs[j + 1]))
+                        if sb > sa:
+                            segments.append(
+                                (str(seg_key[j]),
+                                 AccessBatch(vpn[sa:sb], is_store[sa:sb]))
+                            )
+                        j += 1
+                    self._cursor += 1
+                    yield AccessEvent(segments, interleave=interleave)
+            self._maybe_release(a1)

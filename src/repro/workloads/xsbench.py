@@ -38,6 +38,9 @@ class XSBenchWorkload(Workload):
     paper_rss_gb = 63.4
     paper_rhp = 1.0
     description = "Computational kernel of Monte Carlo neutron transport"
+    # Offsets are generated against the regions this workload sizes
+    # itself, so the engine's per-segment bounds scan is redundant.
+    needs_bounds_check = False
 
     BROAD_FRACTION = 0.25  # early phase with a broad working set
 
