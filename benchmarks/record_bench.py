@@ -147,47 +147,25 @@ def record(out_path: str) -> dict:
     return doc
 
 
-def _normalized(doc: dict) -> dict:
-    base = doc["scenarios"][BASELINE_SCENARIO]["accesses_per_sec"]
-    return {
-        name: entry["accesses_per_sec"] / base
-        for name, entry in doc["scenarios"].items()
-    }
-
-
 def compare(old_path: str, new_path: str) -> int:
+    """Diff two recordings via the shared ``repro.analysis.trajectory``
+    radar (same thresholds; this entry point predates it and is kept
+    for one-off use)."""
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src = os.path.join(repo, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.analysis.trajectory import compare_docs, format_report
+
     with open(old_path) as fh:
         old = json.load(fh)
     with open(new_path) as fh:
         new = json.load(fh)
-    if old.get("config") != new.get("config"):
-        print("config mismatch: the pinned scales changed; "
-              "re-record the committed trajectory", file=sys.stderr)
-        return 1
-    old_norm, new_norm = _normalized(old), _normalized(new)
-    failures = []
-    for name in sorted(old_norm):
-        if name not in new_norm:
-            failures.append(f"{name}: missing from {new_path}")
-            continue
-        floor = old_norm[name] * (1 - TOLERANCE)
-        status = "ok" if new_norm[name] >= floor else "REGRESSED"
-        print(f"{name:24s} normalised {old_norm[name]:6.2f} -> "
-              f"{new_norm[name]:6.2f}  (floor {floor:.2f})  {status}")
-        if new_norm[name] < floor:
-            failures.append(
-                f"{name}: normalised throughput {new_norm[name]:.2f} "
-                f"below floor {floor:.2f}"
-            )
-    fast, slow, target = HEADLINE
-    ratio = (new["scenarios"][fast]["accesses_per_sec"]
-             / new["scenarios"][slow]["accesses_per_sec"])
-    print(f"headline {fast}/{slow}: {ratio:.2f}x (target >= {target}x)")
-    if ratio < target:
-        failures.append(f"headline ratio {ratio:.2f}x below {target}x")
-    for failure in failures:
+    report = compare_docs(old, new, tolerance=TOLERANCE, headline=HEADLINE)
+    print(format_report(report))
+    for failure in report["failures"]:
         print(f"FAIL: {failure}", file=sys.stderr)
-    return 1 if failures else 0
+    return 0 if report["ok"] else 1
 
 
 def main(argv=None) -> int:

@@ -38,6 +38,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER, WARN
+
 
 class SimulationKilled(RuntimeError):
     """Raised by the kill-at-epoch injector to abort a run mid-flight.
@@ -92,6 +94,7 @@ class FaultInjector:
     def __init__(self, config: FaultConfig):
         self.config = config
         self.rng = np.random.default_rng(config.seed)
+        self.tracer = NULL_TRACER
         self._alloc_blocked = False
         self._tick_suppressed = False
         self.stats: Dict[str, int] = {
@@ -104,8 +107,15 @@ class FaultInjector:
 
     # -- wiring ------------------------------------------------------------
 
-    def bind(self, *, tiers=None, sampler=None) -> None:
-        """Attach the injectors to the structures they perturb."""
+    def bind(self, *, tiers=None, sampler=None, tracer=None) -> None:
+        """Attach the injectors to the structures they perturb.
+
+        ``tracer`` (optional) receives a WARN-level ``fault``-category
+        event per injected fault, so chaos runs leave a trace-event
+        footprint alongside the stats counters.
+        """
+        if tracer is not None:
+            self.tracer = tracer
         if tiers is not None and self.config.alloc_fail_prob > 0:
             tiers.fast.fault_gate = self.fast_alloc_blocked
         if sampler is not None and (self.config.drop_sample_prob > 0
@@ -121,6 +131,10 @@ class FaultInjector:
                 self.rng.random() < self.config.alloc_fail_prob)
             if self._alloc_blocked:
                 self.stats["alloc_outage_batches"] += 1
+                self.tracer.emit(
+                    "fault", "alloc_outage", level=WARN,
+                    batches=self.stats["alloc_outage_batches"],
+                )
         if self.config.tick_delay_prob > 0:
             self._tick_suppressed = bool(
                 self.rng.random() < self.config.tick_delay_prob)
@@ -140,6 +154,7 @@ class FaultInjector:
         if (self.config.kill_at_epoch is not None
                 and epoch_index == self.config.kill_at_epoch):
             self.stats["kills"] += 1
+            self.tracer.emit("fault", "kill", level=WARN, epoch=epoch_index)
             raise SimulationKilled(
                 f"fault injection: run killed at epoch {epoch_index}"
             )
@@ -148,6 +163,10 @@ class FaultInjector:
         """Engine hook: should this batch's policy tick be delayed?"""
         if self._tick_suppressed:
             self.stats["delayed_ticks"] += 1
+            self.tracer.emit(
+                "fault", "delayed_tick", level=WARN,
+                total=self.stats["delayed_ticks"],
+            )
             return True
         return False
 
@@ -167,7 +186,12 @@ class FaultInjector:
             return vpn, is_store
         if self.config.drop_sample_prob > 0:
             keep = self.rng.random(n) >= self.config.drop_sample_prob
-            self.stats["dropped_samples"] += int(n - np.count_nonzero(keep))
+            ndrop = int(n - np.count_nonzero(keep))
+            if ndrop:
+                self.stats["dropped_samples"] += ndrop
+                self.tracer.emit(
+                    "fault", "sample_drop", level=WARN, records=ndrop,
+                )
             vpn, is_store = vpn[keep], is_store[keep]
             n = len(vpn)
             if n == 0:
@@ -177,6 +201,9 @@ class FaultInjector:
             ndup = int(np.count_nonzero(dup))
             if ndup:
                 self.stats["duplicated_samples"] += ndup
+                self.tracer.emit(
+                    "fault", "sample_dup", level=WARN, records=ndup,
+                )
                 # repeat(1 + dup) keeps each duplicate adjacent to its source
                 reps = dup.astype(np.int64) + 1
                 vpn = np.repeat(vpn, reps)

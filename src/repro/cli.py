@@ -13,7 +13,11 @@ Commands:
                   tracing enabled and export the events (Chrome
                   ``trace_event`` / JSONL / ASCII); legacy
                   ``--record``/``--replay`` of workload ``.npz`` streams
-                  still work.
+                  still work;
+* ``top``      -- live ASCII dashboard over a sweep's heartbeat
+                  directory (``run --heartbeat DIR``); ``--snapshot``
+                  prints one frame for CI logs, ``--openmetrics`` emits
+                  the exposition-format text instead.
 
 The per-figure regenerators live under ``python -m repro.experiments``.
 """
@@ -106,13 +110,20 @@ def cmd_run(args) -> int:
                    machine_preset=args.machine_preset,
                    macro_batch=args.macro_batch,
                    check=args.check, snapshot_every=args.snapshot_every,
-                   resume=args.resume)
+                   resume=args.resume,
+                   timeseries_every=args.timeseries)
     trace = _trace_config(args) if args.trace is not None else None
+    heartbeat = None
+    if args.heartbeat:
+        from repro.obs.heartbeat import HeartbeatConfig
+
+        heartbeat = HeartbeatConfig(directory=args.heartbeat)
     # The sweep executor runs the policy and its baseline in parallel
     # with --jobs 2, and serves both from the persistent cache on
     # repeated invocations.
     specs = [spec] if args.no_baseline else [spec, spec.baseline_spec()]
-    outcomes = run_sweep(specs, jobs=args.jobs, trace=trace)
+    outcomes = run_sweep(specs, jobs=args.jobs, trace=trace,
+                         heartbeat=heartbeat)
     raise_failures(outcomes)
     result = outcomes[spec].result
     rows = [
@@ -132,7 +143,8 @@ def cmd_run(args) -> int:
     print(f"sweep timing: {timing['executed']} executed "
           f"({timing['wall_total_s']:.2f}s wall, "
           f"mean {timing['wall_mean_s']:.2f}s), "
-          f"{timing['cached']} cached, {timing['failed']} failed")
+          f"{timing['cached']} cached, {timing['resumed']} resumed, "
+          f"{timing['failed']} failed")
     if spec.snapshot_every > 0 or spec.resume:
         store = snapshot.resolve_store(snapshot.DEFAULT)
         if store is not None:
@@ -279,6 +291,43 @@ def cmd_trace(args) -> int:
     return 2
 
 
+def cmd_top(args) -> int:
+    """Dashboard (or OpenMetrics text) over a heartbeat directory."""
+    import time as _time
+
+    from repro.analysis.top import render_dashboard
+    from repro.obs.heartbeat import read_heartbeats
+    from repro.obs.openmetrics import sweep_exposition
+
+    def frame() -> str:
+        manifest, cells = read_heartbeats(args.dir)
+        if args.openmetrics:
+            return sweep_exposition(cells, manifest=manifest)
+        return render_dashboard(manifest, cells, width=args.width)
+
+    try:
+        if args.snapshot or args.openmetrics:
+            print(frame())
+            return 0
+        while True:
+            # ANSI clear + home: a cheap full-screen refresh.
+            sys.stdout.write("\x1b[2J\x1b[H" + frame() + "\n")
+            sys.stdout.flush()
+            manifest, _ = read_heartbeats(args.dir)
+            if manifest.get("finished_at"):
+                return 0
+            _time.sleep(max(args.interval, 0.1))
+    except KeyboardInterrupt:
+        return 0
+    except BrokenPipeError:
+        # Reader went away (e.g. `repro top ... | head`): exit quietly.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro",
                                      description=__doc__)
@@ -324,6 +373,13 @@ def main(argv=None) -> int:
     p_run.add_argument("--snapshot-dir", metavar="DIR",
                        help="checkpoint store location (default: "
                             "$REPRO_SNAPSHOT_DIR or <cache_dir>/snapshots)")
+    p_run.add_argument("--heartbeat", metavar="DIR", default=None,
+                       help="stream per-cell status files into DIR "
+                            "(watch live with `python -m repro top DIR`)")
+    p_run.add_argument("--timeseries", type=int, default=0, metavar="N",
+                       help="record a per-epoch metrics time series every "
+                            "N epochs into the result's observability "
+                            "block (0 = off; part of the result identity)")
     p_run.add_argument("--events", metavar="CATS",
                        help="comma-separated trace categories "
                             f"({','.join(CATEGORIES)})")
@@ -387,6 +443,21 @@ def main(argv=None) -> int:
     p_trace.add_argument("--quick", action="store_true")
     p_trace.add_argument("--seed", type=int, default=42)
     p_trace.set_defaults(fn=cmd_trace)
+
+    p_top = sub.add_parser(
+        "top", help="live dashboard over a sweep heartbeat directory"
+    )
+    p_top.add_argument("dir", help="heartbeat directory (run --heartbeat DIR)")
+    p_top.add_argument("--snapshot", action="store_true",
+                       help="print one frame and exit (CI logs)")
+    p_top.add_argument("--openmetrics", action="store_true",
+                       help="emit OpenMetrics exposition text instead of "
+                            "the dashboard (implies one-shot)")
+    p_top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                       help="refresh period in live mode (default: 2s)")
+    p_top.add_argument("--width", type=int, default=80,
+                       help="dashboard width in columns (default: 80)")
+    p_top.set_defaults(fn=cmd_top)
 
     args = parser.parse_args(argv)
     if not getattr(args, "fn", None):

@@ -98,11 +98,15 @@ class MigrationEngine:
         space: AddressSpace,
         tlb: Optional[TLB] = None,
         params: MigrationCostParams = MigrationCostParams(),
+        tracer=None,
     ):
+        from repro.obs.tracer import NULL_TRACER
+
         self.space = space
         self.tlb = tlb
         self.params = params
         self.stats = MigrationStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- checkpoint support ------------------------------------------------
     # Cumulative stats are the engine's only mutable state; ``space``,
@@ -174,6 +178,12 @@ class MigrationEngine:
         ns = self.migrate_many(victims, next_idx, critical)
         self.stats.cascade_pages += n_victims
         self.stats.cascade_bytes += freed
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "migrate", "cascade",
+                dst_tier=dst, spill_tier=int(next_idx),
+                pages=n_victims, bytes=freed,
+            )
         return ns
 
     # -- single-page moves ---------------------------------------------------

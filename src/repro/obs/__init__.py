@@ -1,19 +1,24 @@
 """``repro.obs``: the simulator's structured observability layer.
 
-Two cooperating pieces travel with every simulation:
+Three cooperating pieces travel with every simulation:
 
 * :class:`~repro.obs.tracer.Tracer` -- typed, ring-buffered decision
-  events (promotions, splits, threshold moves, cooling, period changes)
-  stamped with virtual time; disabled by default and near-free when
-  disabled;
+  events (promotions, splits, threshold moves, cooling, period changes,
+  fault injections) stamped with virtual time; disabled by default and
+  near-free when disabled;
 * :class:`~repro.obs.counters.CounterRegistry` -- hierarchical
   counters/gauges/distributions that daemons and policies register
-  into, serialised into ``SimResult.to_dict()["observability"]``.
+  into, serialised into ``SimResult.to_dict()["observability"]``;
+* :class:`~repro.obs.timeseries.MetricsTimeSeries` (optional) -- a
+  columnar per-epoch snapshot of the registry (counter deltas + gauge
+  values), enabled via ``RunSpec.timeseries_every`` and serialised into
+  ``SimResult.to_dict()["observability"]["timeseries"]``.
 
 :class:`Observability` bundles them; the engine creates one per run and
 hands it to every component through :class:`~repro.policies.base.PolicyContext`.
 Exporters (JSONL, Chrome ``trace_event`` for Perfetto, ASCII) live in
-:mod:`repro.obs.export`.
+:mod:`repro.obs.export`; live sweep status (heartbeat files, OpenMetrics
+text) in :mod:`repro.obs.heartbeat` and :mod:`repro.obs.openmetrics`.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from repro.obs.counters import (
     Gauge,
     ScopedRegistry,
 )
+from repro.obs.timeseries import MetricsTimeSeries
 from repro.obs.tracer import (
     CATEGORIES,
     DEBUG,
@@ -42,22 +48,30 @@ from repro.obs.tracer import (
 
 __all__ = [
     "CATEGORIES", "Counter", "CounterRegistry", "DEBUG", "Distribution",
-    "Gauge", "INFO", "NULL_TRACER", "Observability", "ScopedRegistry",
-    "TraceEvent", "Tracer", "WARN", "level_name", "make_tracer",
-    "parse_level",
+    "Gauge", "INFO", "MetricsTimeSeries", "NULL_TRACER", "Observability",
+    "ScopedRegistry", "TraceEvent", "Tracer", "WARN", "level_name",
+    "make_tracer", "parse_level",
 ]
 
 
 class Observability:
-    """One run's tracer + counter registry (and their serialisation)."""
+    """One run's tracer + counter registry (and their serialisation).
+
+    ``timeseries`` is the optional per-epoch recorder
+    (:class:`~repro.obs.timeseries.MetricsTimeSeries`); ``None`` keeps
+    the historical two-piece bundle and the historical ``snapshot()``
+    layout.
+    """
 
     def __init__(
         self,
         tracer: Optional[Tracer] = None,
         counters: Optional[CounterRegistry] = None,
+        timeseries: Optional[MetricsTimeSeries] = None,
     ):
         self.tracer = tracer if tracer is not None else Tracer()
         self.counters = counters if counters is not None else CounterRegistry()
+        self.timeseries = timeseries
 
     @classmethod
     def traced(cls, level="info", events=None, capacity: int = 1 << 16
@@ -71,9 +85,15 @@ class Observability:
 
         Counters are the payload; the tracer contributes only its
         summary (events stay in the tracer for exporters), so results
-        remain small and cached runs stay comparable to live ones.
+        remain small and cached runs stay comparable to live ones.  The
+        ``timeseries`` block appears only when a recorder is attached:
+        everything outside it is bit-identical between telemetry-enabled
+        and disabled runs.
         """
-        return {
+        data = {
             "counters": self.counters.as_dict(),
             "tracer": self.tracer.stats(),
         }
+        if self.timeseries is not None:
+            data["timeseries"] = self.timeseries.to_dict()
+        return data

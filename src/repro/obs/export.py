@@ -32,6 +32,20 @@ _TID_EVENTS = 1
 _TID_EPOCHS = 2
 _TID_PHASES = 3
 
+#: Canonical order of the engine's wall-time phases in rendered output
+#: (generation first -- it feeds every later stage); unknown phase names
+#: sort after these in insertion order.
+PHASE_ORDER = ("gen_ns", "sample_ns", "tlb_ns", "policy_ns")
+
+
+def ordered_phases(phase_ns: Dict[str, float]) -> List[Tuple[str, float]]:
+    """``phase_ns`` items with canonical phases first, others appended."""
+    known = [(name, float(phase_ns[name]))
+             for name in PHASE_ORDER if name in phase_ns]
+    extra = [(name, float(ns)) for name, ns in phase_ns.items()
+             if name not in PHASE_ORDER]
+    return known + extra
+
 
 # -- JSONL ---------------------------------------------------------------------
 
@@ -110,8 +124,7 @@ def chrome_trace(
             "args": {"name": "wall-time phases (aggregate)"},
         })
         cursor = 0.0
-        for phase, ns in phase_ns.items():
-            ns = float(ns)
+        for phase, ns in ordered_phases(phase_ns):
             trace_events.append({
                 "name": phase, "cat": "phase", "ph": "X",
                 "ts": cursor / 1e3, "dur": ns / 1e3,
@@ -184,14 +197,26 @@ def export_tracer(
         os.makedirs(parent, exist_ok=True)
     events = tracer.events()
     full_meta = {**(meta or {}), "tracer": tracer.stats()}
+    if phase_ns:
+        full_meta["phase_ns"] = {k: float(v) for k, v in phase_ns.items()}
     if fmt == "jsonl":
         return write_events_jsonl(path, events, meta=full_meta)
     if fmt == "chrome":
         return write_chrome_trace(path, events, phase_ns=phase_ns,
                                   meta=full_meta)
     if fmt == "ascii":
+        text = ascii_timeline(events)
+        if phase_ns:
+            from repro.analysis.ascii import bar_chart
+
+            phases = ordered_phases(phase_ns)
+            text += "\n\n" + bar_chart(
+                [name for name, _ in phases],
+                [ns / 1e6 for _, ns in phases],
+                title="wall-time phases (ms)",
+            )
         with open(path, "w") as fh:
-            fh.write(ascii_timeline(events) + "\n")
+            fh.write(text + "\n")
         return len(events)
     raise ValueError(
         f"unknown trace export format {fmt!r}; "

@@ -1,0 +1,301 @@
+"""Sweep heartbeats: atomic per-cell JSON status files.
+
+A sweep of hundreds of cells is a black box while the pool drains.
+This module gives every worker a tiny write-only status channel and the
+parent (or any external observer -- ``repro top``, a CI tail, an
+OpenMetrics scraper) a read-only aggregate view, with no coordination
+beyond a shared directory:
+
+* each executing cell owns one file, ``<cache_key[:16]>.hb.json``,
+  rewritten atomically (``mkstemp`` + ``os.replace``) so readers never
+  observe a torn JSON document;
+* the parent writes a ``sweep.json`` manifest listing every cell up
+  front, so the dashboard knows the denominator before workers have
+  said anything, and stamps terminal states (``cached``, retry
+  bookkeeping) the workers cannot know about;
+* :class:`HeartbeatWriter` hooks the engine's ``epoch_hook`` -- it is a
+  pure observer (reads counters, writes files) and never mutates
+  simulation state, so heartbeat-enabled runs stay bit-identical.
+
+Cell status schema (all fields JSON scalars)::
+
+    {"schema": 1, "key": "0f3a...", "label": "silo memtis 1:8",
+     "workload": "silo", "policy": "memtis", "seed": 42, "pid": 1234,
+     "state": "running",          # running|done|failed|cached|retrying
+     "resumed": false,            # true when this attempt restored a
+                                  # checkpoint (rates are post-resume)
+     "epoch": 17, "accesses": 8500000, "target_accesses": 20000000,
+     "progress": 0.425, "accesses_per_sec": 1.2e6, "eta_s": 9.6,
+     "wall_s": 7.1,               # this attempt's wall so far
+     "last_checkpoint_epoch": 16, # null until one is taken
+     "violations": 0,             # sanitizer findings so far
+     "faults": {"dropped_samples": 0, ...},  # injector stats, if any
+     "started_at": 1754650000.0, "updated_at": 1754650007.1,
+     "error": "..."}              # failed cells: last traceback line
+
+Rates and ETA are computed over *this attempt's* work only: a resumed
+cell divides post-resume accesses by post-resume wall, so a cell that
+spent an hour before being killed does not report a bogus throughput
+after its five-second resumed tail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Bump when the status file layout changes.
+SCHEMA = 1
+
+HEARTBEAT_SUFFIX = ".hb.json"
+MANIFEST_NAME = "sweep.json"
+
+
+def _write_atomic(path: str, payload: Dict[str, Any]) -> None:
+    """Write ``payload`` as JSON such that readers never see a torn file."""
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Picklable heartbeat request for :func:`repro.sim.sweep.run_sweep`.
+
+    ``directory`` receives one status file per cell plus the sweep
+    manifest; ``min_interval_s`` throttles how often a running worker
+    rewrites its file (epoch closes arrive far faster than any human or
+    scraper reads).
+    """
+
+    directory: str
+    min_interval_s: float = 0.25
+
+    def cell_path(self, spec) -> str:
+        return os.path.join(
+            self.directory, f"{spec.cache_key()[:16]}{HEARTBEAT_SUFFIX}"
+        )
+
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+
+class HeartbeatWriter:
+    """One executing cell's status channel (worker side).
+
+    Wire :meth:`on_epoch` as the simulation's ``epoch_hook``; call
+    :meth:`start` before running and :meth:`finish` after.  Purely
+    observational: reads engine/sanitizer/fault state, writes files.
+    """
+
+    def __init__(self, config: HeartbeatConfig, spec, resumed: bool = False):
+        self.config = config
+        self.spec = spec
+        self.resumed = bool(resumed)
+        self.path = config.cell_path(spec)
+        self.started_at = time.time()
+        self._last_write = 0.0
+        self._last_status: Dict[str, Any] = {}
+
+    def _base(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "key": self.spec.cache_key()[:16],
+            "label": self.spec.label(),
+            "workload": self.spec.workload,
+            "policy": self.spec.policy,
+            "seed": self.spec.seed,
+            "pid": os.getpid(),
+            "resumed": self.resumed,
+            "started_at": self.started_at,
+        }
+
+    def status(self, sim, state: str, now: Optional[float] = None
+               ) -> Dict[str, Any]:
+        """Build the full status payload from a live simulation."""
+        now = time.time() if now is None else now
+        wall = max(now - self.started_at, 1e-9)
+        accesses = int(sim.metrics.total_accesses)
+        resume_accesses = int(getattr(sim, "_resume_accesses", 0))
+        budget = getattr(sim, "_access_budget", None)
+        target = float(sim.workload.total_accesses)
+        if budget is not None and budget != float("inf"):
+            target = min(target, float(budget))
+        done_frac = min(accesses / target, 1.0) if target > 0 else 0.0
+        rate = (accesses - resume_accesses) / wall
+        remaining = max(target - accesses, 0.0)
+        eta_s = remaining / rate if rate > 0 else None
+        findings = sim.obs.counters.get("check/findings")
+        payload = dict(
+            self._base(),
+            state=state,
+            resumed=self.resumed or bool(getattr(sim, "_resumed", False)),
+            epoch=int(sim._epoch_index),
+            accesses=accesses,
+            target_accesses=int(target),
+            progress=done_frac,
+            accesses_per_sec=rate,
+            eta_s=eta_s,
+            wall_s=wall,
+            last_checkpoint_epoch=getattr(sim, "_last_checkpoint_epoch", None),
+            violations=int(findings.value) if findings is not None else 0,
+            faults=dict(sim.faults.stats) if sim.faults is not None else None,
+            updated_at=now,
+        )
+        self._last_status = payload
+        return payload
+
+    def write(self, payload: Dict[str, Any]) -> None:
+        _write_atomic(self.path, payload)
+        self._last_write = time.time()
+
+    def start(self, sim=None) -> None:
+        """Announce the cell as running before the first epoch closes."""
+        if sim is not None:
+            self.write(self.status(sim, "running"))
+        else:
+            self.write(dict(self._base(), state="running",
+                            updated_at=self.started_at))
+
+    def on_epoch(self, sim) -> None:
+        """Engine ``epoch_hook``: refresh status, throttled by interval."""
+        now = time.time()
+        payload = self.status(sim, "running", now=now)
+        if now - self._last_write >= self.config.min_interval_s:
+            self.write(payload)
+
+    def finish(self, state: str, error: Optional[str] = None) -> None:
+        """Terminal write (``done``/``failed``), never throttled."""
+        payload = dict(self._last_status or self._base())
+        payload["state"] = state
+        payload["updated_at"] = time.time()
+        if error is not None:
+            lines = error.strip().splitlines()
+            payload["error"] = lines[-1] if lines else error
+        self.write(payload)
+
+
+# -- parent / reader side ------------------------------------------------------
+
+
+def write_cell_status(config: HeartbeatConfig, spec, state: str,
+                      **fields) -> None:
+    """Parent-side status stamp: merge ``state`` + ``fields`` into the file.
+
+    Used for states only the sweep driver knows about (``cached``,
+    ``retrying``, final attempt counts).  Existing worker-written fields
+    are preserved.
+    """
+    path = config.cell_path(spec)
+    payload: Dict[str, Any] = {}
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        pass
+    if not payload:
+        payload = {
+            "schema": SCHEMA,
+            "key": spec.cache_key()[:16],
+            "label": spec.label(),
+            "workload": spec.workload,
+            "policy": spec.policy,
+            "seed": spec.seed,
+            "started_at": time.time(),
+        }
+    payload["state"] = state
+    payload["updated_at"] = time.time()
+    payload.update(fields)
+    _write_atomic(path, payload)
+
+
+def write_manifest(config: HeartbeatConfig, specs,
+                   started_at: Optional[float] = None,
+                   finished_at: Optional[float] = None) -> None:
+    """Write the sweep manifest: the dashboard's denominator."""
+    _write_atomic(config.manifest_path(), {
+        "schema": SCHEMA,
+        "cells": [
+            {"key": spec.cache_key()[:16], "label": spec.label()}
+            for spec in specs
+        ],
+        "started_at": started_at,
+        "finished_at": finished_at,
+    })
+
+
+def read_heartbeats(directory: str
+                    ) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read ``(manifest, cells)`` from a heartbeat directory.
+
+    Unreadable or torn files are skipped (a writer may be mid-replace on
+    a filesystem without atomic rename semantics); cells come back
+    sorted by label for stable rendering.
+    """
+    manifest: Dict[str, Any] = {}
+    cells: List[Dict[str, Any]] = []
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return manifest, cells
+    for name in names:
+        path = os.path.join(directory, name)
+        if name == MANIFEST_NAME:
+            try:
+                with open(path) as fh:
+                    manifest = json.load(fh)
+            except (OSError, ValueError):
+                pass
+        elif name.endswith(HEARTBEAT_SUFFIX):
+            try:
+                with open(path) as fh:
+                    cells.append(json.load(fh))
+            except (OSError, ValueError):
+                continue
+    cells.sort(key=lambda c: (str(c.get("label", "")), str(c.get("key", ""))))
+    return manifest, cells
+
+
+def display_state(cell: Dict[str, Any]) -> str:
+    """Dashboard state for one cell: terminal states win, then resume."""
+    state = str(cell.get("state", "unknown"))
+    if state in ("failed", "cached"):
+        return state
+    if cell.get("resumed"):
+        return "resumed"
+    return state
+
+
+def aggregate(cells: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Sweep-level tallies for the dashboard header / exporter."""
+    states: Dict[str, int] = {}
+    throughput = 0.0
+    accesses = 0
+    violations = 0
+    for cell in cells:
+        states[display_state(cell)] = states.get(display_state(cell), 0) + 1
+        if cell.get("state") == "running":
+            throughput += float(cell.get("accesses_per_sec") or 0.0)
+        accesses += int(cell.get("accesses") or 0)
+        violations += int(cell.get("violations") or 0)
+    return {
+        "cells": len(cells),
+        "states": states,
+        "running_accesses_per_sec": throughput,
+        "total_accesses": accesses,
+        "violations": violations,
+    }

@@ -1,0 +1,153 @@
+"""OpenMetrics text exposition over heartbeats and counter registries.
+
+External scrapers (Prometheus, a CI log grepper) should not need to
+parse our heartbeat JSON.  This module renders the same status in the
+OpenMetrics text exposition format
+(https://prometheus.io/docs/specs/om/open_metrics_spec/):
+
+* ``# TYPE`` metadata precedes every family's samples;
+* counter sample names carry the ``_total`` suffix;
+* label values escape ``\\``, ``"`` and newlines;
+* the exposition ends with the mandatory ``# EOF`` line.
+
+Two entry points: :func:`sweep_exposition` renders a live sweep's
+heartbeat cells (what ``repro top --openmetrics`` serves), and
+:func:`counters_exposition` renders one run's
+:class:`~repro.obs.counters.CounterRegistry` (distributions expand to
+``_count``/``_sum``/``_min``/``_max``/``_mean`` gauges).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.obs.heartbeat import aggregate, display_state
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str) -> str:
+    """Sanitise an arbitrary string into a legal metric name."""
+    name = _NAME_BAD_CHARS.sub("_", name)
+    if not name or not _NAME_OK.match(name):
+        name = "_" + name
+    return name
+
+
+def escape_label(value: Any) -> str:
+    """Escape a label value per the exposition-format grammar."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels(labels: Dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{metric_name(str(k))}="{escape_label(v)}"'
+        for k, v in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _num(value: Any) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class _Family:
+    """One metric family: TYPE line plus its samples, emitted together."""
+
+    def __init__(self, name: str, kind: str, out: List[str]):
+        self.name = metric_name(name)
+        self.kind = kind
+        self.out = out
+        out.append(f"# TYPE {self.name} {kind}")
+
+    def sample(self, value: Any, labels: Optional[Dict[str, Any]] = None
+               ) -> None:
+        suffix = "_total" if self.kind == "counter" else ""
+        self.out.append(
+            f"{self.name}{suffix}{_labels(labels or {})} {_num(value)}"
+        )
+
+
+def sweep_exposition(cells: List[Dict[str, Any]],
+                     manifest: Optional[Dict[str, Any]] = None) -> str:
+    """Render heartbeat cells as an OpenMetrics exposition document."""
+    out: List[str] = []
+    agg = aggregate(cells)
+    total = len((manifest or {}).get("cells", [])) or agg["cells"]
+
+    fam = _Family("repro_sweep_cells", "gauge", out)
+    fam.sample(total, {"state": "all"})
+    for state in sorted(agg["states"]):
+        fam.sample(agg["states"][state], {"state": state})
+    _Family("repro_sweep_accesses_per_second", "gauge", out).sample(
+        agg["running_accesses_per_sec"]
+    )
+    _Family("repro_sweep_violations", "gauge", out).sample(agg["violations"])
+
+    def cell_labels(cell: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "cell": cell.get("key", ""),
+            "workload": cell.get("workload", ""),
+            "policy": cell.get("policy", ""),
+            "state": display_state(cell),
+        }
+
+    progress = _Family("repro_cell_progress_ratio", "gauge", out)
+    for cell in cells:
+        progress.sample(float(cell.get("progress") or 0.0), cell_labels(cell))
+    epoch = _Family("repro_cell_epoch", "gauge", out)
+    for cell in cells:
+        epoch.sample(int(cell.get("epoch") or 0), cell_labels(cell))
+    accesses = _Family("repro_cell_accesses", "counter", out)
+    for cell in cells:
+        accesses.sample(int(cell.get("accesses") or 0), cell_labels(cell))
+    rate = _Family("repro_cell_accesses_per_second", "gauge", out)
+    for cell in cells:
+        rate.sample(float(cell.get("accesses_per_sec") or 0.0),
+                    cell_labels(cell))
+    resumed = _Family("repro_cell_resumed", "gauge", out)
+    for cell in cells:
+        resumed.sample(1 if cell.get("resumed") else 0, cell_labels(cell))
+
+    out.append("# EOF")
+    return "\n".join(out) + "\n"
+
+
+def counters_exposition(counters: Dict[str, Any], prefix: str = "repro"
+                        ) -> str:
+    """Render a flat ``CounterRegistry.as_dict()`` as OpenMetrics text.
+
+    Counters (int values) become counter families; floats become
+    gauges; distribution stat dicts expand into one gauge per moment.
+    ``None`` values (empty distributions' moments) are skipped.
+    """
+    out: List[str] = []
+    for name in sorted(counters):
+        value = counters[name]
+        base = metric_name(f"{prefix}_{name}")
+        if isinstance(value, dict):
+            for stat in ("count", "sum", "min", "max", "mean"):
+                stat_value = value.get(stat)
+                if stat_value is None:
+                    continue
+                _Family(f"{base}_{stat}", "gauge", out).sample(stat_value)
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        elif isinstance(value, int):
+            _Family(base, "counter", out).sample(value)
+        else:
+            _Family(base, "gauge", out).sample(value)
+    out.append("# EOF")
+    return "\n".join(out) + "\n"

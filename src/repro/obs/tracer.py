@@ -22,6 +22,8 @@ category    names                 emitted by
 sample      sample_fold           ksampled per folded PEBS batch (debug)
 sample      buffer_overflow       PEBS sampler when records drop
 migrate     promote, demote       kmigrated page movement
+migrate     cascade               demotion cascade making room on a full
+                                  intermediate tier (N >= 3 machines)
 split       split_decision        benefit estimation outcome (eHR/rHR)
 split       split, collapse       per huge page split / collapse
 threshold   threshold_update      Algorithm 1 adaptation (old -> new)
@@ -30,6 +32,10 @@ period      period_adjust         PEBS sampling-period reprogramming
 engine      demand_map,           engine-level faults and region events
             hint_fault
 epoch       epoch                 one span per metrics timeline window
+fault       sample_drop,          injected faults (``repro.check.faults``):
+            sample_dup,           PEBS record loss/replay, fast-tier
+            alloc_outage,         admission outages, delayed kmigrated
+            delayed_tick, kill    ticks, and the kill-at-epoch abort
 ========== ===================== ==========================================
 """
 
@@ -50,7 +56,7 @@ _NAME_LEVELS = {name: lvl for lvl, name in _LEVEL_NAMES.items()}
 #: Known event categories (used for CLI validation / `--events`).
 CATEGORIES = (
     "sample", "migrate", "split", "threshold", "cooling", "period",
-    "engine", "epoch",
+    "engine", "epoch", "fault",
 )
 
 

@@ -240,12 +240,29 @@ class Simulation:
         #: ``snapshot_every``-th epoch close.
         self.snapshot_every: int = 0
         self.snapshot_sink = None
+        #: Epoch index of the most recent checkpoint written via
+        #: ``snapshot_sink`` (``None`` until one is taken); surfaced in
+        #: sweep heartbeats.
+        self._last_checkpoint_epoch: Optional[int] = None
+        #: Optional per-epoch observer ``hook(sim)`` fired after each
+        #: epoch closes (checkpoint already taken).  Purely
+        #: observational -- used by the sweep heartbeat writer; must not
+        #: mutate simulation state.
+        self.epoch_hook = None
+        #: Progress bookkeeping for live status: the access budget of
+        #: the current ``run()`` call, and how many accesses the
+        #: restored checkpoint already carried (``load_state`` sets it)
+        #: so rates can be computed over post-resume work only.
+        self._access_budget: Optional[float] = None
+        self._resumed = False
+        self._resume_accesses = 0
 
         self.tiers: TieredMemory = machine.build_tiers()
         self.space = AddressSpace(self.tiers)
         self.tlb = TLB(tlb_config or TLBConfig())
         self.migrator = MigrationEngine(
-            self.space, tlb=self.tlb, params=self.cost_model.migration
+            self.space, tlb=self.tlb, params=self.cost_model.migration,
+            tracer=self.obs.tracer,
         )
         self.bound_cost: BoundCostModel = self.cost_model.bind(self.tiers)
         self.metrics = MetricsCollector(timeline_interval_ns=timeline_interval_ns)
@@ -288,7 +305,8 @@ class Simulation:
         #: Optional fault injector (``repro.check.faults``).
         self.faults = faults
         if faults is not None:
-            faults.bind(tiers=self.tiers, sampler=sampler)
+            faults.bind(tiers=self.tiers, sampler=sampler,
+                        tracer=self.obs.tracer)
 
     # -- event handling ------------------------------------------------------
 
@@ -526,6 +544,16 @@ class Simulation:
                 index=self._epoch_index,
                 dur_ns=self.now_ns - self._epoch_start_ns,
             )
+        # Per-epoch telemetry row (before the index bumps, so the row
+        # carries the index of the epoch that just closed -- and before
+        # the checkpoint below, so a checkpoint at this epoch contains
+        # this epoch's row).  Publishing engine gauges here is safe for
+        # bit-identity: the end-of-run publish overwrites them with
+        # values identical in both telemetry modes.
+        ts = self.obs.timeseries
+        if ts is not None and ts.due(self._epoch_index):
+            self.metrics.publish(self.obs.counters)
+            ts.record(self._epoch_index, self.now_ns, self.obs.counters)
         self._epoch_index += 1
         self._epoch_start_ns = self.now_ns
         self.sanitizer.after_epoch(self.now_ns)
@@ -534,6 +562,9 @@ class Simulation:
         if (self.snapshot_every > 0 and self.snapshot_sink is not None
                 and self._epoch_index % self.snapshot_every == 0):
             self.snapshot_sink(self._epoch_index, self.state_dict())
+            self._last_checkpoint_epoch = self._epoch_index
+        if self.epoch_hook is not None:
+            self.epoch_hook(self)
         if self.faults is not None:
             on_epoch = getattr(self.faults, "on_epoch", None)
             if on_epoch is not None:
@@ -583,6 +614,10 @@ class Simulation:
                 or not hasattr(self.faults, "state_dict")
                 else self.faults.state_dict()
             ),
+            # Conditional: checkpoints keep their historical key set
+            # when no telemetry recorder is attached.
+            **({"timeseries": self.obs.timeseries.state_dict()}
+               if self.obs.timeseries is not None else {}),
         }
 
     def load_state(self, state: Dict[str, Any]) -> None:
@@ -621,6 +656,12 @@ class Simulation:
         if (self.faults is not None and state.get("faults") is not None
                 and hasattr(self.faults, "load_state")):
             self.faults.load_state(state["faults"])
+        if (self.obs.timeseries is not None
+                and state.get("timeseries") is not None):
+            self.obs.timeseries.load_state(state["timeseries"])
+        self._resumed = True
+        self._resume_accesses = self.metrics.total_accesses
+        self._last_checkpoint_epoch = self._epoch_index
 
     # -- driver ------------------------------------------------------------------
 
@@ -695,6 +736,7 @@ class Simulation:
         bit-identically from the checkpointed epoch.
         """
         budget = max_accesses if max_accesses is not None else float("inf")
+        self._access_budget = budget
         wall_start = time.perf_counter()
         skip = self._events_consumed
         # A resumed run whose checkpoint already reached the access

@@ -144,6 +144,15 @@ class RunSpec:
     #: so historical specs keep their exact ``to_dict()`` layout and
     #: ``cache_key()``.
     macro_batch: int = 0
+    #: Record a per-epoch metrics time series every N epochs
+    #: (``repro.obs.timeseries``); 0 (default) disables recording.  The
+    #: series lands inside the serialized result
+    #: (``observability.timeseries``), so unlike ``check`` this IS part
+    #: of the cache identity -- a telemetry-enabled result must not be
+    #: served for a disabled spec or vice versa.  Serialized (and
+    #: hashed) only when nonzero, so historical specs keep their exact
+    #: ``to_dict()`` layout and ``cache_key()``.
+    timeseries_every: int = 0
 
     def __post_init__(self):
         if self.check not in (None, "off", "end", "epoch", "strict"):
@@ -158,6 +167,10 @@ class RunSpec:
         if self.macro_batch < 0:
             raise ValueError(
                 f"macro_batch must be >= 0, got {self.macro_batch}"
+            )
+        if self.timeseries_every < 0:
+            raise ValueError(
+                f"timeseries_every must be >= 0, got {self.timeseries_every}"
             )
         if self.scale is None:
             object.__setattr__(self, "scale", DEFAULT_SCALE)
@@ -243,6 +256,13 @@ class RunSpec:
         elif self.machine_variant == "all-fast":
             machine = machine.collapse_to_fastest()
         policy = make_policy(self.policy, **self.policy_kwargs_dict)
+        if self.timeseries_every > 0:
+            from repro.obs import MetricsTimeSeries, Observability
+
+            if obs is None:
+                obs = Observability()
+            if obs.timeseries is None:
+                obs.timeseries = MetricsTimeSeries(every=self.timeseries_every)
         return Simulation(
             workload, policy, machine, seed=self.seed,
             force_base_pages=self.force_base_pages, obs=obs,
@@ -252,6 +272,7 @@ class RunSpec:
 
     def execute(
         self, obs=None, faults=None, snapshots=snapshot_store.DEFAULT,
+        epoch_hook=None,
     ) -> SimResult:
         """Build and run this spec, honouring checkpoint/resume fields.
 
@@ -262,12 +283,16 @@ class RunSpec:
         the remaining epochs are computed.  Resuming is bit-identical to
         an uninterrupted run, which is why neither field is part of
         :meth:`cache_key`.  ``snapshots`` follows
-        :func:`repro.snapshot.resolve_store`.
+        :func:`repro.snapshot.resolve_store`.  ``epoch_hook`` is an
+        optional observer ``hook(sim)`` fired after every epoch close
+        (the sweep heartbeat writer).
         """
         store = None
         if self.snapshot_every > 0 or self.resume:
             store = snapshot_store.resolve_store(snapshots)
         sim = self.build(obs=obs, faults=faults)
+        if epoch_hook is not None:
+            sim.epoch_hook = epoch_hook
         if store is not None and self.snapshot_every > 0:
             sim.snapshot_every = self.snapshot_every
             sim.snapshot_sink = (
@@ -309,9 +334,9 @@ class RunSpec:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe dict capturing every result-relevant field.
 
-        ``machine_preset`` and ``macro_batch`` are emitted only when
-        set: historical specs keep their exact serialized layout (and
-        cache keys).
+        ``machine_preset``, ``macro_batch`` and ``timeseries_every``
+        are emitted only when set: historical specs keep their exact
+        serialized layout (and cache keys).
         """
         d = {
             "workload": self.workload,
@@ -332,6 +357,8 @@ class RunSpec:
             d["machine_preset"] = self.machine_preset
         if self.macro_batch:
             d["macro_batch"] = self.macro_batch
+        if self.timeseries_every:
+            d["timeseries_every"] = self.timeseries_every
         return d
 
     @classmethod

@@ -34,12 +34,19 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs.heartbeat import (
+    HeartbeatConfig,
+    HeartbeatWriter,
+    write_cell_status,
+    write_manifest,
+)
 from repro.sim import cache as result_cache
 from repro.sim.engine import SimResult
 from repro.sim.runner import RunSpec
@@ -151,6 +158,9 @@ class CellOutcome:
     error: Optional[str] = None
     from_cache: bool = False
     attempts: int = 0
+    #: True when the (final) attempt restored an epoch checkpoint: its
+    #: ``result.wall_seconds`` covers post-resume work only.
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -186,19 +196,26 @@ def _emit(progress: Optional[ProgressFn], event: SweepEvent) -> None:
 
 
 def _run_cell(
-    spec: RunSpec, trace: Optional[TraceConfig] = None
+    spec: RunSpec, trace: Optional[TraceConfig] = None,
+    heartbeat: Optional[HeartbeatConfig] = None,
 ) -> Tuple[bool, Optional[SimResult], Optional[str]]:
     """Execute one spec; never raises for ordinary cell errors.
 
     Runs without touching the cache: the driver pre-filters hits and
     persists successes, so workers stay pure compute.  With ``trace``,
     the run is traced and the events exported to the trace directory
-    before returning (tracing never changes simulation results).
+    before returning (tracing never changes simulation results).  With
+    ``heartbeat``, the cell streams its status into the heartbeat
+    directory per epoch and stamps a terminal ``done``/``failed`` state.
 
     Only :class:`Exception` is converted into a failed-cell tuple;
     ``KeyboardInterrupt``/``SystemExit`` propagate so Ctrl-C cancels a
     sweep instead of burning retries on every in-flight cell.
     """
+    hb = None
+    if heartbeat is not None:
+        hb = HeartbeatWriter(heartbeat, spec, resumed=spec.resume)
+        hb.start()
     try:
         obs = None
         if trace is not None:
@@ -208,27 +225,39 @@ def _run_cell(
                 level=trace.level, events=trace.categories,
                 capacity=trace.capacity,
             )
-        result = spec.execute(obs=obs)
+        # Pass epoch_hook only when heartbeating: out-of-tree execute()
+        # wrappers predating the kwarg keep working on plain sweeps.
+        result = (
+            spec.execute(obs=obs, epoch_hook=hb.on_epoch)
+            if hb is not None else spec.execute(obs=obs)
+        )
         if trace is not None:
             _export_cell_trace(trace, spec, obs, result)
+        if hb is not None:
+            hb.finish("done")
         return True, result, None
     except Exception:
-        return False, None, traceback.format_exc()
+        error = traceback.format_exc()
+        if hb is not None:
+            hb.finish("failed", error=error)
+        return False, None, error
 
 
 def _execute_batch(
     specs: Sequence[RunSpec], jobs: int,
     trace: Optional[TraceConfig] = None,
+    heartbeat: Optional[HeartbeatConfig] = None,
 ) -> List[Tuple[RunSpec, Tuple[bool, Optional[SimResult], Optional[str]]]]:
     """Run ``specs`` once each; one (spec, (ok, result, error)) per spec."""
     if jobs <= 1 or len(specs) <= 1:
-        return [(spec, _run_cell(spec, trace)) for spec in specs]
+        return [(spec, _run_cell(spec, trace, heartbeat)) for spec in specs]
     out = []
     returned = set()
     try:
         with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
             futures = {
-                pool.submit(_run_cell, spec, trace): spec for spec in specs
+                pool.submit(_run_cell, spec, trace, heartbeat): spec
+                for spec in specs
             }
             for future in as_completed(futures):
                 spec = futures[future]
@@ -259,6 +288,7 @@ def run_sweep(
     progress: Optional[ProgressFn] = None,
     retries: int = 1,
     trace: Optional[TraceConfig] = None,
+    heartbeat: Optional[HeartbeatConfig] = None,
 ) -> Dict[RunSpec, CellOutcome]:
     """Execute every distinct spec; returns ``{spec: CellOutcome}``.
 
@@ -266,7 +296,11 @@ def run_sweep(
     the returned mapping.  Failed cells never abort the sweep -- check
     ``outcome.ok`` (or use :func:`raise_failures`).  With ``trace``,
     each executed cell writes a trace file into ``trace.directory``;
-    cache hits get a stub annotated ``from_cache`` instead.
+    cache hits get a stub annotated ``from_cache`` instead.  With
+    ``heartbeat``, the sweep becomes observable from outside: the
+    parent writes a manifest plus ``cached``/``retrying`` stamps, and
+    every executing cell streams per-epoch status files (``repro top``
+    renders them live).
 
     Retries are checkpoint-aware: a failed (or killed) cell whose spec
     has ``snapshot_every > 0`` is re-run with ``resume=True``, so the
@@ -279,6 +313,9 @@ def run_sweep(
     total = len(ordered)
     completed = 0
     outcomes: Dict[RunSpec, CellOutcome] = {}
+    sweep_started = time.time()
+    if heartbeat is not None:
+        write_manifest(heartbeat, ordered, started_at=sweep_started)
 
     pending: List[RunSpec] = []
     for spec in ordered:
@@ -299,6 +336,8 @@ def run_sweep(
             outcomes[spec] = CellOutcome(spec, result=hit, from_cache=True)
             if trace is not None:
                 _write_cached_stub(trace, spec)
+            if heartbeat is not None:
+                write_cell_status(heartbeat, spec, "cached", progress=1.0)
             _emit(progress, SweepEvent("cached", spec, completed, total))
         else:
             pending.append(spec)
@@ -314,17 +353,23 @@ def run_sweep(
         batch, work = work, []
         run_map = {run_spec: spec for spec, run_spec in batch}
         for run_spec, (ok, result, error) in _execute_batch(
-            [run_spec for _, run_spec in batch], jobs, trace
+            [run_spec for _, run_spec in batch], jobs, trace, heartbeat
         ):
             spec = run_map[run_spec]
             attempts[spec] += 1
             if ok:
                 completed += 1
                 outcomes[spec] = CellOutcome(
-                    spec, result=result, attempts=attempts[spec]
+                    spec, result=result, attempts=attempts[spec],
+                    resumed=run_spec.resume,
                 )
                 if cache is not None:
                     cache.put(spec, result)
+                if heartbeat is not None:
+                    write_cell_status(
+                        heartbeat, spec, "done",
+                        attempts=attempts[spec], resumed=run_spec.resume,
+                    )
                 _emit(progress, SweepEvent("done", spec, completed, total))
             elif attempts[spec] <= retries:
                 retry = (
@@ -332,18 +377,31 @@ def run_sweep(
                     if run_spec.snapshot_every > 0 else run_spec
                 )
                 work.append((spec, retry))
+                if heartbeat is not None:
+                    write_cell_status(
+                        heartbeat, spec, "retrying", attempts=attempts[spec],
+                    )
                 _emit(progress, SweepEvent(
                     "retry", spec, completed, total, error=error
                 ))
             else:
                 completed += 1
                 outcomes[spec] = CellOutcome(
-                    spec, error=error, attempts=attempts[spec]
+                    spec, error=error, attempts=attempts[spec],
+                    resumed=run_spec.resume,
                 )
+                if heartbeat is not None:
+                    write_cell_status(
+                        heartbeat, spec, "failed",
+                        attempts=attempts[spec], resumed=run_spec.resume,
+                    )
                 _emit(progress, SweepEvent(
                     "failed", spec, completed, total, error=error
                 ))
 
+    if heartbeat is not None:
+        write_manifest(heartbeat, ordered, started_at=sweep_started,
+                       finished_at=time.time())
     return {spec: outcomes[spec] for spec in ordered}
 
 
@@ -383,7 +441,11 @@ def timing_summary(outcomes) -> Dict[str, float]:
 
     Cached cells carry ``wall_seconds == 0.0`` (they did no simulation
     work), so including them would drag the mean and percentiles toward
-    zero; they are counted separately instead.  Accepts the mapping
+    zero; they are counted separately instead.  Resumed cells (retries
+    that restored an epoch checkpoint) are counted under ``resumed``;
+    their ``wall_seconds`` covers the post-resume attempt only -- the
+    engine times each ``run()`` call fresh, so a killed first attempt's
+    wall never leaks into the resumed result.  Accepts the mapping
     returned by :func:`run_sweep` or any iterable of
     :class:`CellOutcome`.
     """
@@ -391,6 +453,9 @@ def timing_summary(outcomes) -> Dict[str, float]:
         else list(outcomes)
     cached = sum(1 for o in cells if o.ok and o.from_cache)
     failed = sum(1 for o in cells if not o.ok)
+    resumed = sum(
+        1 for o in cells if o.ok and getattr(o, "resumed", False)
+    )
     walls = sorted(
         o.result.wall_seconds for o in cells if o.ok and not o.from_cache
     )
@@ -400,6 +465,7 @@ def timing_summary(outcomes) -> Dict[str, float]:
         "executed": n,
         "cached": cached,
         "failed": failed,
+        "resumed": resumed,
         "wall_total_s": float(sum(walls)),
         "wall_mean_s": float(sum(walls) / n) if n else 0.0,
         "wall_min_s": float(walls[0]) if n else 0.0,

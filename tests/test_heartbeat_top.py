@@ -1,0 +1,286 @@
+"""Sweep heartbeats, the ``repro top`` dashboard, and OpenMetrics output.
+
+The acceptance scenario: an 8-cell sweep whose heartbeat directory ends
+up containing every dashboard state at once -- done, cached, failed,
+resumed (checkpoint-aware retry) and a still-running cell -- rendered
+correctly by ``repro top --snapshot``, with the OpenMetrics exposition
+validating line-by-line against the format grammar.
+"""
+
+import json
+import os
+import re
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs.heartbeat import (
+    HEARTBEAT_SUFFIX,
+    HeartbeatConfig,
+    HeartbeatWriter,
+    aggregate,
+    display_state,
+    read_heartbeats,
+    write_cell_status,
+    write_manifest,
+)
+from repro.obs.openmetrics import (
+    counters_exposition,
+    escape_label,
+    metric_name,
+    sweep_exposition,
+)
+from repro.analysis.top import progress_bar, render_dashboard
+from repro.sim import sweep
+from repro.sim.runner import RunSpec
+from repro.sim.sweep import run_sweep, timing_summary
+
+from conftest import TEST_SCALE
+
+
+def _spec(**overrides):
+    base = dict(
+        workload="silo", policy="memtis", ratio="1:8", seed=11,
+        max_accesses=60_000, scale=TEST_SCALE,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+# -- writer / reader units -----------------------------------------------------
+
+
+class TestHeartbeatFiles:
+    def test_writer_status_fields(self, tmp_path):
+        config = HeartbeatConfig(str(tmp_path), min_interval_s=0.0)
+        spec = _spec()
+        writer = HeartbeatWriter(config, spec)
+        sim = spec.build()
+        sim.metrics.timeline_interval_ns = 1e6
+        sim.epoch_hook = writer.on_epoch
+        writer.start(sim)
+        sim.run(max_accesses=spec.max_accesses)
+        with open(config.cell_path(spec)) as fh:
+            status = json.load(fh)
+        assert status["state"] == "running"
+        assert status["key"] == spec.cache_key()[:16]
+        assert status["label"] == spec.label()
+        assert status["epoch"] >= 1
+        # The engine drains whole batches, so accesses may overshoot the
+        # budget by a batch; progress clamps at 1.0 regardless.
+        assert 0 < status["accesses"]
+        assert status["target_accesses"] == spec.max_accesses
+        assert 0.0 < status["progress"] <= 1.0
+        assert status["accesses_per_sec"] > 0
+        assert status["eta_s"] is not None and status["eta_s"] >= 0
+        assert status["violations"] == 0 and status["resumed"] is False
+        writer.finish("done")
+        with open(config.cell_path(spec)) as fh:
+            assert json.load(fh)["state"] == "done"
+
+    def test_reader_skips_torn_files(self, tmp_path):
+        config = HeartbeatConfig(str(tmp_path))
+        spec = _spec()
+        write_cell_status(config, spec, "done", progress=1.0)
+        with open(os.path.join(str(tmp_path), f"torn{HEARTBEAT_SUFFIX}"),
+                  "w") as fh:
+            fh.write('{"state": "runni')  # mid-write on a weird fs
+        write_manifest(config, [spec], started_at=1.0)
+        manifest, cells = read_heartbeats(str(tmp_path))
+        assert len(cells) == 1 and cells[0]["state"] == "done"
+        assert len(manifest["cells"]) == 1
+
+    def test_read_missing_directory(self, tmp_path):
+        manifest, cells = read_heartbeats(str(tmp_path / "nope"))
+        assert manifest == {} and cells == []
+
+    def test_display_state_precedence(self):
+        assert display_state({"state": "failed", "resumed": True}) == "failed"
+        assert display_state({"state": "cached", "resumed": True}) == "cached"
+        assert display_state({"state": "done", "resumed": True}) == "resumed"
+        assert display_state({"state": "running"}) == "running"
+
+    def test_aggregate(self):
+        cells = [
+            {"state": "running", "accesses_per_sec": 10.0, "accesses": 5},
+            {"state": "done", "accesses_per_sec": 99.0, "accesses": 7,
+             "violations": 2},
+        ]
+        agg = aggregate(cells)
+        assert agg["states"] == {"running": 1, "done": 1}
+        assert agg["running_accesses_per_sec"] == 10.0  # done rate excluded
+        assert agg["total_accesses"] == 12 and agg["violations"] == 2
+
+
+def test_progress_bar_shapes():
+    assert progress_bar(0.0) == "[" + "." * 14 + "]"
+    assert progress_bar(1.0) == "[" + "#" * 14 + "]"
+    half = progress_bar(0.5)
+    assert half.count("#") == 6 and ">" in half and len(half) == 16
+
+
+# -- the 8-cell acceptance sweep -----------------------------------------------
+
+
+@pytest.fixture
+def eight_cell_sweep(tmp_path, monkeypatch):
+    """Run an 8-cell heartbeat sweep covering every dashboard state.
+
+    Returns ``(heartbeat_dir, outcomes, specs)`` where the sweep's 7
+    cells end as 4 done + 1 cached + 1 failed + 1 resumed, and an 8th
+    cell is left mid-flight in ``running`` state.
+    """
+    hb_dir = str(tmp_path / "hb")
+    config = HeartbeatConfig(hb_dir, min_interval_s=0.0)
+
+    done_specs = [_spec(seed=s) for s in (11, 12, 13, 14)]
+    cached_spec = _spec(seed=15)
+    cached_spec.run()  # pre-populate the (tmp) result cache
+    failed_spec = _spec(seed=16, policy_kwargs={"no_such_option": True})
+    flaky_spec = _spec(seed=17, snapshot_every=1)
+
+    # First attempt of the flaky cell "crashes"; the checkpoint-aware
+    # retry re-runs it with resume=True, which lands as a resumed cell.
+    real_run_cell = sweep._run_cell
+
+    def flaky(spec, trace=None, heartbeat=None):
+        if spec.seed == 17 and not spec.resume:
+            return (False, None, "RuntimeError: injected crash")
+        return real_run_cell(spec, trace, heartbeat)
+
+    monkeypatch.setattr(sweep, "_run_cell", flaky)
+    specs = done_specs + [cached_spec, failed_spec, flaky_spec]
+    outcomes = run_sweep(specs, jobs=1, heartbeat=config, retries=1)
+
+    # Cell 8: a run caught mid-flight -- real writer, never finished.
+    running_spec = _spec(seed=18)
+    writer = HeartbeatWriter(config, running_spec)
+    sim = running_spec.build()
+    sim.metrics.timeline_interval_ns = 1e6
+    sim.epoch_hook = writer.on_epoch
+    writer.start(sim)
+    sim.run(max_accesses=20_000)  # partial budget: stays "running"
+    write_manifest(config, specs + [running_spec], started_at=0.0)
+    return hb_dir, outcomes, specs
+
+
+@pytest.mark.slow
+class TestEightCellSweep:
+    def test_states_and_dashboard(self, eight_cell_sweep):
+        hb_dir, outcomes, specs = eight_cell_sweep
+        manifest, cells = read_heartbeats(hb_dir)
+        assert len(cells) == 8 and len(manifest["cells"]) == 8
+        states = sorted(display_state(c) for c in cells)
+        assert states == sorted(
+            ["done"] * 4 + ["cached", "failed", "resumed", "running"]
+        )
+        art = render_dashboard(manifest, cells)
+        assert "sweep: 8 cells" in art
+        for state in ("running", "cached", "resumed", "failed"):
+            assert state in art
+        assert "injected crash" not in art  # failed cell shows *its* error
+        assert "no_such_option" in art or "!!" in art
+
+    def test_outcomes_and_timing(self, eight_cell_sweep):
+        _, outcomes, specs = eight_cell_sweep
+        flaky_spec = specs[-1]
+        assert outcomes[flaky_spec].ok
+        assert outcomes[flaky_spec].resumed is True
+        assert outcomes[flaky_spec].attempts == 2
+        done = [o for o in outcomes.values()
+                if o.ok and not o.from_cache and not o.resumed]
+        assert all(o.resumed is False for o in done)
+        timing = timing_summary(outcomes)
+        assert timing["cells"] == 7 and timing["resumed"] == 1
+        assert timing["cached"] == 1 and timing["failed"] == 1
+        # Resumed wall is the post-resume attempt only, so it behaves
+        # like any executed cell (positive, bounded by the total).
+        resumed_wall = outcomes[flaky_spec].result.wall_seconds
+        assert 0 < resumed_wall <= timing["wall_total_s"]
+
+    def test_cli_top_snapshot(self, eight_cell_sweep, capsys):
+        hb_dir, _, _ = eight_cell_sweep
+        assert cli_main(["top", hb_dir, "--snapshot"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 8 cells" in out
+        for state in ("running", "cached", "resumed", "failed"):
+            assert state in out
+
+    def test_cli_top_openmetrics(self, eight_cell_sweep, capsys):
+        hb_dir, _, _ = eight_cell_sweep
+        assert cli_main(["top", hb_dir, "--openmetrics"]) == 0
+        out = capsys.readouterr().out
+        _validate_openmetrics(out)
+        assert 'state="resumed"' in out and 'state="running"' in out
+
+
+# -- OpenMetrics grammar -------------------------------------------------------
+
+_TYPE_RE = re.compile(
+    r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (gauge|counter)$"
+)
+_LABELS_RE = re.compile(
+    r'^\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*")*\}$'
+)
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? (-?(\d+\.?\d*([eE][+-]?\d+)?))$"
+)
+
+
+def _validate_openmetrics(text: str) -> None:
+    """Line-by-line exposition-format validation (types, names, labels)."""
+    lines = text.rstrip("\n").split("\n")
+    assert lines[-1] == "# EOF", "exposition must end with # EOF"
+    declared = {}
+    for line in lines[:-1]:
+        match = _TYPE_RE.match(line)
+        if match:
+            name, kind = match.groups()
+            assert name not in declared, f"family {name} declared twice"
+            declared[name] = kind
+            continue
+        match = _SAMPLE_RE.match(line)
+        assert match, f"invalid exposition line: {line!r}"
+        sample_name, labels = match.group(1), match.group(2)
+        family = sample_name
+        if sample_name.endswith("_total"):
+            family = sample_name[: -len("_total")]
+        if family in declared and sample_name != family:
+            assert declared[family] == "counter"
+        else:
+            family = sample_name
+        assert family in declared, f"sample {sample_name} has no TYPE"
+        if declared[family] == "counter":
+            assert sample_name.endswith("_total"), \
+                f"counter sample {sample_name} must end _total"
+        if labels:
+            assert _LABELS_RE.match(labels), f"bad labels: {labels!r}"
+    assert declared, "no metric families emitted"
+
+
+class TestOpenMetrics:
+    def test_name_sanitisation(self):
+        assert metric_name("engine/total_accesses") \
+            == "engine_total_accesses"
+        assert metric_name("9lives") == "_9lives"
+        assert _TYPE_RE.match(f"# TYPE {metric_name('a b/c-d')} gauge")
+
+    def test_label_escaping(self):
+        assert escape_label('sa"y\\hi\nthere') == 'sa\\"y\\\\hi\\nthere'
+
+    def test_sweep_exposition_grammar_with_hostile_labels(self):
+        cells = [{
+            "key": "abc", "workload": 'w"1\\x', "policy": "p\n2",
+            "state": "running", "progress": 0.5, "epoch": 3,
+            "accesses": 10, "accesses_per_sec": 2.5, "resumed": True,
+        }]
+        _validate_openmetrics(sweep_exposition(cells))
+
+    def test_counters_exposition_from_real_run(self):
+        spec = _spec()
+        result = spec.execute()
+        counters = result.to_dict()["observability"]["counters"]
+        text = counters_exposition(counters)
+        _validate_openmetrics(text)
+        assert "# TYPE repro_engine_total_accesses" in text

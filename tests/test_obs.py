@@ -200,8 +200,9 @@ class TestExport:
         epoch = next(r for r in slices if r["name"] == "epoch")
         assert epoch["ts"] == 20.0 / 1e3 and epoch["dur"] == 20.0 / 1e3
         phases = [r for r in slices if r["cat"] == "phase"]
-        assert [r["name"] for r in phases] == ["access_gen", "policy_ns"]
-        assert phases[1]["ts"] == 100.0 / 1e3  # consecutive slices
+        # Canonical phases (PHASE_ORDER) first, unknown names appended.
+        assert [r["name"] for r in phases] == ["policy_ns", "access_gen"]
+        assert phases[1]["ts"] == 50.0 / 1e3  # consecutive slices
         # The whole document must be JSON-serialisable (Perfetto input).
         json.dumps(doc)
 
@@ -316,6 +317,121 @@ def test_observability_summary_serialises(tmp_path):
     doc = json.load(open(tmp_path / "run.json"))
     assert doc["otherData"]["spec"]["workload"] == "silo"
     assert n == len([e for e in obs.tracer.events()])
+
+
+# -- fault and cascade events --------------------------------------------------
+
+
+def test_fault_injections_emit_tracer_events():
+    """Every fault kind surfaces as a WARN event in the ``fault`` track."""
+    from repro.check import FaultConfig, FaultInjector
+
+    obs = Observability.traced(level="info", events=("fault",))
+    injector = FaultInjector(FaultConfig(
+        seed=3, drop_sample_prob=0.3, dup_sample_prob=0.3,
+        alloc_fail_prob=0.3, tick_delay_prob=0.3,
+    ))
+    _spec().build(obs=obs, faults=injector).run(max_accesses=60_000)
+    events = obs.tracer.events()
+    assert events and all(e.cat == "fault" and e.level >= WARN
+                          for e in events)
+    names = {e.name for e in events}
+    assert {"sample_drop", "sample_dup", "alloc_outage",
+            "delayed_tick"} <= names
+    # Payloads stay consistent with the injector's own accounting.
+    stats = injector.stats
+    dropped = sum(e.args["records"] for e in events
+                  if e.name == "sample_drop")
+    assert dropped == stats["dropped_samples"] > 0
+    duplicated = sum(e.args["records"] for e in events
+                     if e.name == "sample_dup")
+    assert duplicated == stats["duplicated_samples"] > 0
+    outages = [e for e in events if e.name == "alloc_outage"]
+    assert outages[-1].args["batches"] == stats["alloc_outage_batches"] \
+        == len(outages)
+    delayed = [e for e in events if e.name == "delayed_tick"]
+    assert delayed[-1].args["total"] == stats["delayed_ticks"] == len(delayed)
+
+
+def test_kill_fault_emits_event_before_raising():
+    from repro.check import FaultConfig, FaultInjector, SimulationKilled
+
+    obs = Observability.traced(level="info", events=("fault",))
+    injector = FaultInjector(FaultConfig(seed=5, kill_at_epoch=1))
+    sim = _spec().build(obs=obs, faults=injector)
+    sim.metrics.timeline_interval_ns = 1e6
+    with pytest.raises(SimulationKilled):
+        sim.run(max_accesses=60_000)
+    kills = [e for e in obs.tracer.events() if e.name == "kill"]
+    assert len(kills) == 1 and kills[0].args["epoch"] == 1
+
+
+def test_cascade_demotions_emit_tracer_events():
+    """Cross-tier demotion cascades show up in the ``migrate`` track."""
+    from repro.sim.engine import Simulation
+    from repro.sim.machine import MachineSpec, cxl_spec, dram_spec, nvm_spec
+    from repro.policies.registry import make_policy
+    from repro.workloads.registry import make_workload
+
+    workload = make_workload("silo", TEST_SCALE)
+    small = max(2 * 1024 * 1024, workload.total_bytes // 8)
+    machine = MachineSpec.from_tiers([
+        dram_spec(small), cxl_spec(small), nvm_spec(2 * workload.total_bytes),
+    ])
+    obs = Observability.traced(level="info", events=("migrate",))
+    sim = Simulation(workload, make_policy("memtis"), machine, seed=11,
+                     obs=obs)
+    result = sim.run(max_accesses=200_000)
+    assert result.migration.cascade_pages > 0, "scenario did not cascade"
+    cascades = [e for e in obs.tracer.events() if e.name == "cascade"]
+    assert cascades, "cascade demotions left no trace events"
+    for event in cascades:
+        assert event.args["pages"] > 0 and event.args["bytes"] > 0
+        # Spills go strictly downhill on a 3-tier machine.
+        assert event.args["spill_tier"] == event.args["dst_tier"] + 1
+    # The ring may evict early events; what survives never exceeds the
+    # engine's own accounting.
+    assert sum(e.args["pages"] for e in cascades) \
+        <= result.migration.cascade_pages
+
+
+# -- exporters carry the generation phase --------------------------------------
+
+
+def test_exporters_carry_gen_ns_phase(tmp_path):
+    """``gen_ns`` (PR 7's generation phase) reaches all three exporters."""
+    obs = Observability.traced(level="info", events=("migrate",))
+    spec = _spec()
+    result = spec.build(obs=obs).run(max_accesses=spec.max_accesses)
+    assert "gen_ns" in result.phase_ns
+    chrome_path = str(tmp_path / "run.json")
+    export_tracer(obs.tracer, chrome_path, phase_ns=result.phase_ns,
+                  meta={"spec": spec.to_dict()})
+    doc = json.load(open(chrome_path))
+    phase_rows = [r for r in doc["traceEvents"]
+                  if r.get("cat") == "phase" and r["ph"] == "X"]
+    names = [r["name"] for r in phase_rows]
+    assert "gen_ns" in names
+    # Canonical pipeline order: generation before sampling/policy.
+    assert names.index("gen_ns") < names.index("policy_ns")
+    # Slices tile the wall-time track: each begins where the previous ended.
+    for prev, cur in zip(phase_rows, phase_rows[1:]):
+        assert cur["ts"] == pytest.approx(prev["ts"] + prev["dur"])
+
+    jsonl_path = str(tmp_path / "run.jsonl")
+    export_tracer(obs.tracer, jsonl_path, fmt="jsonl",
+                  phase_ns=result.phase_ns)
+    with open(jsonl_path) as fh:
+        meta = json.loads(fh.readline())
+    assert meta["type"] == "meta"
+    assert meta["phase_ns"]["gen_ns"] == pytest.approx(
+        float(result.phase_ns["gen_ns"]))
+
+    ascii_path = str(tmp_path / "run.txt")
+    export_tracer(obs.tracer, ascii_path, fmt="ascii",
+                  phase_ns=result.phase_ns)
+    text = open(ascii_path).read()
+    assert "wall-time phases (ms)" in text and "gen_ns" in text
 
 
 # -- sweep integration ---------------------------------------------------------

@@ -117,6 +117,48 @@ def test_disabled_tracer_overhead_under_5_percent():
     )
 
 
+def test_disabled_telemetry_overhead_under_5_percent():
+    """Disabled-telemetry guards must stay below 5% of a 100k-access run.
+
+    Same methodology as the tracer gate above: with telemetry off the
+    engine's epoch close pays one ``obs.timeseries is None`` check and
+    one ``epoch_hook is None`` check per epoch -- a 100k-access run
+    closes tens of epochs, so 10,000 iterations of the exact disabled
+    pattern over-counts the real guard executions by orders of
+    magnitude.  Best of three on both sides.
+    """
+    from repro.obs import Observability
+
+    spec = RunSpec("silo", "memtis", scale=TEST_SCALE, seed=11,
+                   max_accesses=100_000)
+    run_s = []
+    for _ in range(3):
+        sim = spec.build()
+        start = time.perf_counter()
+        sim.run(max_accesses=spec.max_accesses)
+        run_s.append(time.perf_counter() - start)
+
+    obs = Observability()
+    epoch_hook = None
+    guard_s = []
+    for _ in range(3):
+        start = time.perf_counter()
+        for epoch in range(10_000):
+            ts = obs.timeseries
+            if ts is not None and ts.due(epoch):
+                ts.record(epoch, 0.0, obs.counters)
+            if epoch_hook is not None:
+                epoch_hook(None)
+        guard_s.append(time.perf_counter() - start)
+
+    ratio = min(guard_s) / min(run_s)
+    assert ratio < 0.05, (
+        f"disabled telemetry guards cost {ratio * 100:.1f}% of a "
+        f"100k-access run ({min(guard_s) * 1e3:.2f}ms vs "
+        f"{min(run_s) * 1e3:.1f}ms)"
+    )
+
+
 #: ~2.3M silo accesses -- big enough that the per-event fixed cost
 #: dominates the disabled path, small enough for a smoke test.
 _MACRO_SMOKE_SCALE = ScaleSpec(
