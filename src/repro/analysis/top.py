@@ -92,8 +92,12 @@ def render_dashboard(manifest: Dict[str, Any], cells: List[Dict[str, Any]],
             fraction = 1.0
         pct = f"{fraction * 100:3.0f}%"
         bar = progress_bar(fraction)
-        rate = (_humanize(cell.get("accesses_per_sec")) + "/s"
-                if cell.get("state") == "running" else "-")
+        # A freshly (re)started cell reports a null rate/ETA until it has
+        # post-resume work to divide by; render both as unknown.
+        raw_rate = cell.get("accesses_per_sec")
+        rate = (_humanize(raw_rate) + "/s"
+                if cell.get("state") == "running" and raw_rate is not None
+                else "-")
         eta = _eta(cell.get("eta_s")) if cell.get("state") == "running" \
             else "-"
         lines.append(

@@ -170,6 +170,7 @@ EXPERIMENT_REGISTRY: Dict[str, str] = {
     "ablations": "repro.experiments.ablations",
     "tmts": "repro.experiments.tmts_comparison",
     "colocation": "repro.experiments.colocation",
+    "headtohead": "repro.experiments.headtohead",
 }
 
 

@@ -136,6 +136,18 @@ class MigrationEngine:
             self.stats.demoted_bytes += nbytes
             self.stats.demoted_pages += 1
 
+    def charge_side_copy(self, nbytes: int, critical: bool = False) -> float:
+        """Charge the cost of a page copy that moved no mapping.
+
+        Non-exclusive/transactional schemes (Nomad) pay for copies that
+        never become migrations: an aborted transactional promotion has
+        copied the page before the concurrent write rolled it back.  The
+        bus time is real; the mapping is untouched, so no tier
+        accounting or traffic counter changes.
+        """
+        ns = self.params.per_page_fixed_ns + self.params.copy_ns(nbytes)
+        return self._charge(ns, critical)
+
     # -- demotion cascade --------------------------------------------------
 
     def _ensure_room(self, dst: int, nbytes: int, critical: bool) -> float:
@@ -146,6 +158,15 @@ class MigrationEngine:
         machines).  Victims are the tier's mapped pages in ascending vpn
         order -- deterministic, so runs stay reproducible -- and are
         pushed to the next-slower tier, which may itself cascade.
+
+        The cascade itself never raises: room is made down-hierarchy
+        *before* the victims move, and the victim set is clamped to what
+        the next tier can actually absorb.  When the hierarchy below is
+        full the cascade stops having moved only what fits, leaving the
+        caller's own allocation to raise the usual
+        :class:`~repro.mem.tiers.OutOfMemoryError` -- a mid-batch OOM
+        from inside the cascade would desync ``cascade_pages`` from the
+        pages actually moved.
         """
         space = self.space
         tiers = space.tiers
@@ -173,9 +194,21 @@ class MigrationEngine:
             # Even evicting the whole tier cannot make room; let the
             # caller's allocation raise the usual OutOfMemoryError.
             return 0.0
-        victims = heads[:n_victims]
         freed = int(cum[n_victims - 1])
-        ns = self.migrate_many(victims, next_idx, critical)
+        # Make room for the victims one tier down first (recursing until
+        # the terminal tier, so depth is bounded by the machine's tier
+        # count), then clamp to the room that actually materialised: a
+        # full slowest tier absorbs nothing and the cascade degrades to
+        # a partial (possibly empty) spill instead of raising mid-move.
+        ns = self._ensure_room(next_idx, freed, critical)
+        accept = tiers.tier(next_idx).free_bytes
+        if freed > accept:
+            n_victims = int(np.searchsorted(cum, accept, side="right"))
+            if n_victims == 0:
+                return ns
+            freed = int(cum[n_victims - 1])
+        victims = heads[:n_victims]
+        ns += self.migrate_many(victims, next_idx, critical)
         self.stats.cascade_pages += n_victims
         self.stats.cascade_bytes += freed
         if self.tracer.enabled:
@@ -188,8 +221,14 @@ class MigrationEngine:
 
     # -- single-page moves ---------------------------------------------------
 
-    def migrate_base(self, vpn: int, dst: TierIndex, critical: bool = False) -> float:
-        """Move one 4 KiB page to ``dst``; returns ns spent."""
+    def migrate_base(self, vpn: int, dst: TierIndex, critical: bool = False,
+                     copy_free: bool = False) -> float:
+        """Move one 4 KiB page to ``dst``; returns ns spent.
+
+        ``copy_free`` remaps without paying (or accounting) the copy: a
+        valid replica already exists at ``dst`` -- Nomad's clean-shadow
+        demotion -- so only the remap fixed cost and shootdown remain.
+        """
         src = int(self.space.page_tier[vpn])
         if src == int(dst):
             return 0.0
@@ -201,13 +240,14 @@ class MigrationEngine:
             self.tlb.shootdown_base(vpn)
         ns = (
             self.params.per_page_fixed_ns
-            + self.params.copy_ns(BASE_PAGE_SIZE)
+            + (0.0 if copy_free else self.params.copy_ns(BASE_PAGE_SIZE))
             + self.params.shootdown_ns
         )
-        self._account_move(BASE_PAGE_SIZE, src, int(dst))
+        self._account_move(0 if copy_free else BASE_PAGE_SIZE, src, int(dst))
         return ns_cascade + self._charge(ns, critical)
 
-    def migrate_huge(self, hpn: int, dst: TierIndex, critical: bool = False) -> float:
+    def migrate_huge(self, hpn: int, dst: TierIndex, critical: bool = False,
+                     copy_free: bool = False) -> float:
         """Move one 2 MiB page to ``dst``; returns ns spent."""
         base = hpn_to_vpn(hpn)
         src = int(self.space.page_tier[base])
@@ -221,17 +261,18 @@ class MigrationEngine:
             self.tlb.shootdown_huge(hpn)
         ns = (
             self.params.per_page_fixed_ns
-            + self.params.copy_ns(HUGE_PAGE_SIZE)
+            + (0.0 if copy_free else self.params.copy_ns(HUGE_PAGE_SIZE))
             + self.params.shootdown_ns
         )
-        self._account_move(HUGE_PAGE_SIZE, src, int(dst))
+        self._account_move(0 if copy_free else HUGE_PAGE_SIZE, src, int(dst))
         return ns_cascade + self._charge(ns, critical)
 
-    def migrate_page(self, vpn: int, dst: TierIndex, critical: bool = False) -> float:
+    def migrate_page(self, vpn: int, dst: TierIndex, critical: bool = False,
+                     copy_free: bool = False) -> float:
         """Move whichever mapping covers ``vpn`` (dispatch on shape)."""
         if self.space.page_huge[vpn]:
-            return self.migrate_huge(vpn >> 9, dst, critical)
-        return self.migrate_base(vpn, dst, critical)
+            return self.migrate_huge(vpn >> 9, dst, critical, copy_free)
+        return self.migrate_base(vpn, dst, critical, copy_free)
 
     # -- huge page split / collapse -------------------------------------------
 

@@ -25,7 +25,9 @@ Cell status schema (all fields JSON scalars)::
      "resumed": false,            # true when this attempt restored a
                                   # checkpoint (rates are post-resume)
      "epoch": 17, "accesses": 8500000, "target_accesses": 20000000,
-     "progress": 0.425, "accesses_per_sec": 1.2e6, "eta_s": 9.6,
+     "progress": 0.425,
+     "accesses_per_sec": 1.2e6,       # null until post-resume work exists
+     "eta_s": 9.6,                    # null whenever the rate is unknown
      "wall_s": 7.1,               # this attempt's wall so far
      "last_checkpoint_epoch": 16, # null until one is taken
      "violations": 0,             # sanitizer findings so far
@@ -128,7 +130,8 @@ class HeartbeatWriter:
                ) -> Dict[str, Any]:
         """Build the full status payload from a live simulation."""
         now = time.time() if now is None else now
-        wall = max(now - self.started_at, 1e-9)
+        elapsed = now - self.started_at
+        wall = max(elapsed, 1e-9)
         accesses = int(sim.metrics.total_accesses)
         resume_accesses = int(getattr(sim, "_resume_accesses", 0))
         budget = getattr(sim, "_access_budget", None)
@@ -136,9 +139,19 @@ class HeartbeatWriter:
         if budget is not None and budget != float("inf"):
             target = min(target, float(budget))
         done_frac = min(accesses / target, 1.0) if target > 0 else 0.0
-        rate = (accesses - resume_accesses) / wall
+        progressed = accesses - resume_accesses
         remaining = max(target - accesses, 0.0)
-        eta_s = remaining / rate if rate > 0 else None
+        # A just-(re)started cell has done no post-resume work yet: with
+        # ~0 elapsed or 0 progressed accesses any rate is either a
+        # division hazard or wildly extrapolated nonsense (a resumed
+        # cell's pre-kill accesses all land in the first instant).
+        # Report unknown (null) instead; the dashboard renders "-".
+        if progressed <= 0 or elapsed < 1e-6:
+            rate = None
+            eta_s = None
+        else:
+            rate = progressed / wall
+            eta_s = remaining / rate if rate > 0 else None
         findings = sim.obs.counters.get("check/findings")
         payload = dict(
             self._base(),

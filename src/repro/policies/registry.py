@@ -9,13 +9,17 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from repro.policies.arms import ARMSPolicy
 from repro.policies.autonuma import AutoNUMAPolicy
 from repro.policies.autotiering import AutoTieringPolicy
 from repro.policies.base import TieringPolicy
 from repro.policies.hemem import HeMemPolicy
+from repro.policies.hybridtier import HybridTierPolicy
 from repro.policies.multiclock import MultiClockPolicy
 from repro.policies.nimble import NimblePolicy
+from repro.policies.nomad import NomadPolicy
 from repro.policies.static import AllCapacityPolicy, AllFastPolicy
+from repro.policies.tierbpf import TierBPFPolicy
 from repro.policies.tiering08 import Tiering08Policy
 from repro.policies.thermostat import ThermostatPolicy
 from repro.policies.tmts import TMTSPolicy
@@ -41,6 +45,12 @@ POLICY_REGISTRY: Dict[str, Callable[..., TieringPolicy]] = {
     "tmts": TMTSPolicy,
     "thermostat": ThermostatPolicy,
     "hemem": HeMemPolicy,
+    # Related-work zoo (PAPERS.md): admission control, non-exclusive
+    # transactional tiering, sketched tracking, and drift adaptivity.
+    "tierbpf": TierBPFPolicy,
+    "nomad": NomadPolicy,
+    "hybridtier": HybridTierPolicy,
+    "arms": ARMSPolicy,
     "memtis": _memtis,
     "memtis-ns": lambda **kw: _memtis(enable_split=False, **kw),
     "memtis-vanilla": lambda **kw: _memtis(
@@ -48,7 +58,10 @@ POLICY_REGISTRY: Dict[str, Callable[..., TieringPolicy]] = {
     ),
 }
 
-#: The six comparison systems of Fig. 5, in paper legend order.
+#: The Fig. 5 comparison grid in paper legend order: the six baseline
+#: systems plus MEMTIS itself (seven columns per figure section).
+#: ``tests/test_policy_zoo.py`` asserts this stays a subset of
+#: ``POLICY_REGISTRY`` so zoo growth cannot silently break the figures.
 FIG5_POLICIES: List[str] = [
     "autonuma",
     "autotiering",

@@ -15,7 +15,7 @@ from repro.experiments.common import (
 class TestCommon:
     def test_registry_complete(self):
         expected = {"table1", "table2", "table3", "overheads",
-                    "ablations", "tmts", "colocation"} | {
+                    "ablations", "tmts", "colocation", "headtohead"} | {
             f"fig{i}" for i in (1, 2, 3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14)
         }
         assert set(EXPERIMENT_REGISTRY) == expected

@@ -112,6 +112,66 @@ class TestHeartbeatFiles:
         assert agg["total_accesses"] == 12 and agg["violations"] == 2
 
 
+class TestZeroProgressGuards:
+    """Satellite regression: a just-resumed cell (elapsed ~0, zero
+    post-resume accesses) must report unknown rate/ETA, not a division
+    hazard or an extrapolated-nonsense throughput."""
+
+    def test_status_right_after_resume_reports_unknown_rate(self, tmp_path):
+        config = HeartbeatConfig(str(tmp_path), min_interval_s=0.0)
+        spec = _spec()
+        sim = spec.build()
+        sim.metrics.timeline_interval_ns = 1e6
+        sim.run(max_accesses=20_000)
+        # Simulate the instant after a checkpoint restore: every access
+        # so far predates the resume, and no wall time has passed.
+        sim._resume_accesses = int(sim.metrics.total_accesses)
+        writer = HeartbeatWriter(config, spec, resumed=True)
+        status = writer.status(sim, "running", now=writer.started_at)
+        assert status["accesses_per_sec"] is None
+        assert status["eta_s"] is None
+        assert status["accesses"] > 0  # progress itself still reported
+        assert 0.0 < status["progress"] <= 1.0
+        assert status["resumed"] is True
+        writer.write(status)  # null rate must survive the JSON round-trip
+        _, cells = read_heartbeats(str(tmp_path))
+        assert cells[0]["accesses_per_sec"] is None
+
+    def test_fresh_start_zero_elapsed_reports_unknown_rate(self, tmp_path):
+        config = HeartbeatConfig(str(tmp_path), min_interval_s=0.0)
+        spec = _spec()
+        sim = spec.build()  # brand new: zero accesses, zero elapsed
+        writer = HeartbeatWriter(config, spec)
+        status = writer.status(sim, "running", now=writer.started_at)
+        assert status["accesses_per_sec"] is None
+        assert status["eta_s"] is None
+        assert status["progress"] == 0.0
+
+    def test_dashboard_renders_unknown_rate_as_dash(self):
+        cells = [{
+            "key": "deadbeef", "label": "silo memtis 1:8",
+            "state": "running", "resumed": True, "progress": 0.4,
+            "epoch": 9, "accesses": 40_000, "accesses_per_sec": None,
+            "eta_s": None, "violations": 0,
+        }]
+        manifest = {"cells": [{"key": "deadbeef",
+                               "label": "silo memtis 1:8"}]}
+        art = render_dashboard(manifest, cells)
+        row = [line for line in art.splitlines()
+               if "silo memtis 1:8" in line][0]
+        assert row.rstrip().endswith("-")  # eta column unknown
+        assert "None" not in art and "inf" not in art
+
+    def test_aggregate_tolerates_unknown_rates(self):
+        cells = [
+            {"state": "running", "accesses_per_sec": None, "accesses": 5},
+            {"state": "running", "accesses_per_sec": 10.0, "accesses": 7},
+        ]
+        agg = aggregate(cells)
+        assert agg["running_accesses_per_sec"] == 10.0
+        assert agg["total_accesses"] == 12
+
+
 def test_progress_bar_shapes():
     assert progress_bar(0.0) == "[" + "." * 14 + "]"
     assert progress_bar(1.0) == "[" + "#" * 14 + "]"

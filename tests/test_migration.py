@@ -4,9 +4,21 @@ import numpy as np
 import pytest
 
 from repro.mem.address_space import AddressSpace
-from repro.mem.migration import MigrationCostParams, MigrationEngine
+from repro.mem.migration import (
+    MigrationCostParams,
+    MigrationEngine,
+    MigrationStats,
+)
 from repro.mem.pages import BASE_PAGE_SIZE, HUGE_PAGE_SIZE, SUBPAGES_PER_HUGE
-from repro.mem.tiers import TieredMemory, TierKind, dram_spec, nvm_spec
+from repro.mem.tiers import (
+    OutOfMemoryError,
+    TieredMemory,
+    TierKind,
+    cxl_spec,
+    dram_spec,
+    nvm_spec,
+    remote_spec,
+)
 from repro.mem.tlb import TLB, TLBConfig
 
 MB = 1024 * 1024
@@ -18,6 +30,16 @@ def setup(fast_mb=16, cap_mb=64):
     tlb = TLB(TLBConfig(entries_4k=16, entries_2m=8, ways=4, sample_stride=1))
     engine = MigrationEngine(space, tlb=tlb)
     return space, tlb, engine
+
+
+def setup_ntier(*tier_mb):
+    """An N-tier machine; ``tier_mb[0]`` is DRAM, the rest follow in order."""
+    builders = [dram_spec, cxl_spec, nvm_spec, remote_spec]
+    specs = [builders[i](mb * MB) for i, mb in enumerate(tier_mb)]
+    tiers = TieredMemory.build(*specs)
+    space = AddressSpace(tiers)
+    engine = MigrationEngine(space)
+    return space, engine
 
 
 class TestSinglePageMoves:
@@ -112,3 +134,112 @@ class TestCostParams:
         slow = MigrationCostParams(copy_bandwidth_gbps=1.0)
         fast = MigrationCostParams(copy_bandwidth_gbps=10.0)
         assert slow.copy_ns(MB) == pytest.approx(10 * fast.copy_ns(MB))
+
+
+class TestCopyFreeAndSideCopy:
+    def test_copy_free_remap_charges_no_copy_or_traffic(self):
+        space, _tlb, engine = setup()
+        region = space.alloc_region(2 * MB, thp=False,
+                                    tier_chooser=lambda n: TierKind.FAST)
+        full_ns = (engine.params.per_page_fixed_ns
+                   + engine.params.copy_ns(BASE_PAGE_SIZE)
+                   + engine.params.shootdown_ns)
+        ns = engine.migrate_base(region.base_vpn, TierKind.CAPACITY,
+                                 copy_free=True)
+        assert ns < full_ns
+        assert engine.stats.demoted_pages == 1
+        assert engine.stats.demoted_bytes == 0  # nothing crossed the bus
+        assert int(space.page_tier[region.base_vpn]) == int(TierKind.CAPACITY)
+
+    def test_side_copy_charges_time_but_moves_nothing(self):
+        space, _tlb, engine = setup()
+        ns = engine.charge_side_copy(BASE_PAGE_SIZE)
+        assert ns > 0
+        assert engine.stats.background_ns == ns
+        assert engine.stats.traffic_bytes == 0
+        assert engine.stats.promoted_pages == engine.stats.demoted_pages == 0
+
+
+class TestDemotionCascade:
+    """Satellite regression: a cascade hitting a full slowest tier must
+    terminate gracefully -- bounded recursion, clean byte accounting,
+    the OOM (if any) raised by the caller's own allocation rather than
+    from inside a half-applied cascade."""
+
+    def test_cascade_spills_through_middle_tier(self):
+        space, engine = setup_ntier(4, 4, 4)
+        space.alloc_region(4 * MB, thp=True, tier_chooser=lambda n: 1)
+        space.alloc_region(2 * MB, thp=True, tier_chooser=lambda n: 2)
+        mover = space.alloc_region(2 * MB, thp=True, tier_chooser=lambda n: 0)
+        engine.migrate_huge(mover.base_vpn >> 9, 1)
+        assert int(space.page_tier[mover.base_vpn]) == 1
+        assert engine.stats.cascade_pages == 1
+        assert engine.stats.cascade_bytes == 2 * MB
+        space.check_consistency()
+
+    def test_cascade_recurses_through_two_full_tiers(self):
+        space, engine = setup_ntier(4, 4, 4, 8)
+        space.alloc_region(4 * MB, thp=True, tier_chooser=lambda n: 1)
+        space.alloc_region(4 * MB, thp=True, tier_chooser=lambda n: 2)
+        mover = space.alloc_region(2 * MB, thp=True, tier_chooser=lambda n: 0)
+        engine.migrate_huge(mover.base_vpn >> 9, 1)
+        assert int(space.page_tier[mover.base_vpn]) == 1
+        # One victim moved at each level: tier1 -> tier2 and tier2 -> tier3.
+        assert engine.stats.cascade_pages == 2
+        assert engine.stats.cascade_bytes == 4 * MB
+        space.check_consistency()
+
+    def test_full_hierarchy_terminates_with_caller_oom(self):
+        space, engine = setup_ntier(4, 4, 4, 4)
+        for idx in (1, 2, 3):
+            space.alloc_region(4 * MB, thp=True, tier_chooser=lambda n: idx)
+        mover = space.alloc_region(2 * MB, thp=True, tier_chooser=lambda n: 0)
+        with pytest.raises(OutOfMemoryError):
+            engine.migrate_huge(mover.base_vpn >> 9, 1)
+        # The cascade moved nothing and accounting is intact.
+        assert engine.stats.cascade_pages == 0
+        assert engine.stats.cascade_bytes == 0
+        assert engine.stats.traffic_bytes == 0
+        assert int(space.page_tier[mover.base_vpn]) == 0
+        space.check_consistency()
+
+    def test_partial_spill_clamps_to_available_room(self):
+        space, engine = setup_ntier(8, 4, 4)
+        # Tier 1: a base-page region (lowest vpns, so first in victim
+        # order) plus a huge page -- completely full.
+        t1_bases = space.alloc_region(2 * MB, thp=False,
+                                      tier_chooser=lambda n: 1)
+        space.alloc_region(2 * MB, thp=True, tier_chooser=lambda n: 1)
+        # Tier 2: full, then promote two of its base pages out so it has
+        # exactly 8 KiB of room for cascade spill.
+        t2_bases = space.alloc_region(2 * MB, thp=False,
+                                      tier_chooser=lambda n: 2)
+        space.alloc_region(2 * MB, thp=True, tier_chooser=lambda n: 2)
+        engine.migrate_many(
+            np.arange(t2_bases.base_vpn, t2_bases.base_vpn + 2), 0)
+        mover = space.alloc_region(2 * MB, thp=True, tier_chooser=lambda n: 0)
+        engine.stats = MigrationStats()
+
+        with pytest.raises(OutOfMemoryError):
+            engine.migrate_huge(mover.base_vpn >> 9, 1)
+        # The cascade spilled only the two base pages tier 2 could take,
+        # then the caller's 2 MB allocation on tier 1 raised; stats and
+        # tier accounting describe exactly the pages that moved.
+        assert engine.stats.cascade_pages == 2
+        assert engine.stats.cascade_bytes == 2 * BASE_PAGE_SIZE
+        assert engine.stats.demoted_pages == 2
+        spilled = space.page_tier[t1_bases.base_vpn:t1_bases.base_vpn + 2]
+        assert (spilled == 2).all()
+        assert int(space.page_tier[mover.base_vpn]) == 0
+        space.check_consistency()
+
+    def test_two_tier_machines_keep_strict_oom(self):
+        space, _tlb, engine = setup(fast_mb=4, cap_mb=4)
+        space.alloc_region(4 * MB, thp=True,
+                           tier_chooser=lambda n: TierKind.CAPACITY)
+        mover = space.alloc_region(2 * MB, thp=True,
+                                   tier_chooser=lambda n: TierKind.FAST)
+        with pytest.raises(OutOfMemoryError):
+            engine.migrate_huge(mover.base_vpn >> 9, TierKind.CAPACITY)
+        assert engine.stats.cascade_pages == 0
+        space.check_consistency()

@@ -1,0 +1,244 @@
+"""Related-work policy zoo: registry wiring, strict runs, snapshot identity.
+
+Coverage contract for the four zoo additions (TierBPF, Nomad,
+HybridTier, ARMS):
+
+* the figure policy lists stay consistent with the registry, so zoo
+  growth cannot silently break figure experiments;
+* every zoo policy runs strict-sanitizer-clean in both kernel modes;
+* every zoo policy passes the snapshot bit-identity matrix
+  (``run(N) == run(k) -> save -> load -> run(N-k)``);
+* the characteristic mechanisms actually engage (admission rejections,
+  transactional aborts + shadows, sketch bounds, drift resets).
+"""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.policies.arms import ARMSPolicy
+from repro.policies.hybridtier import HybridTierPolicy
+from repro.policies.nomad import NomadPolicy
+from repro.policies.registry import FIG5_POLICIES, POLICY_REGISTRY, make_policy
+from repro.policies.tierbpf import TierBPFPolicy
+from repro.sim.runner import RunSpec
+from repro.workloads.registry import (
+    PAPER_ORDER,
+    WORKLOAD_REGISTRY,
+    make_workload,
+    workload_names,
+)
+
+from conftest import TEST_SCALE
+
+ZOO = ["tierbpf", "nomad", "hybridtier", "arms"]
+
+#: Virtual-time epoch length; small enough that the tiny access budget
+#: spans several checkpointable epochs (mirrors tests/test_snapshot.py).
+EPOCH_NS = 1e6
+
+
+def _spec(policy, **overrides):
+    base = dict(
+        workload="silo", policy=policy, ratio="1:8", seed=11,
+        max_accesses=150_000, scale=TEST_SCALE,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+def _build(spec):
+    sim = spec.build()
+    sim.metrics.timeline_interval_ns = EPOCH_NS
+    return sim
+
+
+def _canon(result):
+    d = result.to_dict()
+    d.pop("wall_seconds")
+    d.pop("phase_ns")
+    return d
+
+
+# -- registry wiring (satellite: FIG5 comment/list consistency) ----------------
+
+
+class TestRegistryWiring:
+    def test_fig5_policies_subset_of_registry(self):
+        assert set(FIG5_POLICIES) <= set(POLICY_REGISTRY)
+
+    def test_fig5_is_six_baselines_plus_memtis(self):
+        # The comment above FIG5_POLICIES promises exactly this shape.
+        assert len(FIG5_POLICIES) == 7
+        assert FIG5_POLICIES[-1] == "memtis"
+        assert len(set(FIG5_POLICIES)) == 7
+
+    @pytest.mark.parametrize("name,cls", [
+        ("tierbpf", TierBPFPolicy),
+        ("nomad", NomadPolicy),
+        ("hybridtier", HybridTierPolicy),
+        ("arms", ARMSPolicy),
+    ])
+    def test_zoo_registered(self, name, cls):
+        policy = make_policy(name)
+        assert isinstance(policy, cls)
+        assert policy.name == name
+        assert policy.uses_pebs and policy.sampler_config() is not None
+
+    def test_phaseflip_workload_registered(self):
+        assert "phaseflip" in WORKLOAD_REGISTRY
+        assert "phaseflip" not in PAPER_ORDER
+        assert workload_names() == PAPER_ORDER + ["phaseflip"]
+
+
+# -- strict sanitizer, both kernel modes ---------------------------------------
+
+
+@pytest.mark.parametrize("mode", [kernels.VECTORIZED, kernels.SCALAR])
+@pytest.mark.parametrize("policy", ZOO)
+def test_zoo_strict_clean_in_both_kernel_modes(policy, mode, monkeypatch):
+    """Strict checking raises InvariantViolation on any drift; a clean
+    pass through a full run is the assertion."""
+    monkeypatch.setenv("REPRO_CHECK", "strict")
+    with kernels.forced(mode):
+        spec = _spec(policy, check="strict")
+        result = _build(spec).run(max_accesses=spec.max_accesses)
+    assert result.runtime_ns > 0
+    assert result.metrics.total_accesses >= spec.max_accesses
+
+
+# -- snapshot bit-identity matrix ----------------------------------------------
+
+
+@pytest.mark.parametrize("mode", [kernels.VECTORIZED, kernels.SCALAR])
+@pytest.mark.parametrize("policy", ZOO)
+def test_zoo_snapshot_bit_identity(policy, mode):
+    """run(N) == run(k) -> save -> load -> run(N-k) for first/mid/last k."""
+    with kernels.forced(mode):
+        spec = _spec(policy)
+        full = _canon(_build(spec).run(max_accesses=spec.max_accesses))
+        snaps = {}
+        sim = _build(spec)
+        sim.snapshot_every = 1
+        sim.snapshot_sink = lambda epoch, state: snaps.setdefault(epoch, state)
+        captured = _canon(sim.run(max_accesses=spec.max_accesses))
+        assert captured == full, "snapshotting perturbed the trajectory"
+        epochs = sorted(snaps)
+        assert len(epochs) >= 3, "scenario too small to be meaningful"
+        for k in {epochs[0], epochs[len(epochs) // 2], epochs[-1]}:
+            sim = _build(spec)
+            sim.load_state(snaps[k])
+            resumed = _canon(sim.run(max_accesses=spec.max_accesses))
+            assert resumed == full, \
+                f"{policy}: resume from epoch {k} diverged"
+
+
+# -- characteristic mechanisms engage ------------------------------------------
+
+
+def _run_stats(policy, workload="silo", **overrides):
+    spec = _spec(policy, workload=workload, **overrides)
+    result = _build(spec).run(max_accesses=spec.max_accesses)
+    return result.policy_stats
+
+
+class TestMechanisms:
+    def test_tierbpf_admission_filter_rejects(self):
+        stats = _run_stats("tierbpf")
+        # The defect on display: the backward-looking predictor turns
+        # genuine candidates away.
+        assert stats["rejected_benefit"] + stats["rejected_budget"] > 0
+
+    def test_tierbpf_zero_margin_admits_more(self):
+        strict_stats = _run_stats("tierbpf")
+        lax = _spec("tierbpf", policy_kwargs={"benefit_margin": 0.0})
+        lax_stats = _build(lax).run(max_accesses=lax.max_accesses).policy_stats
+        assert lax_stats["admitted"] >= strict_stats["admitted"]
+        assert lax_stats["rejected_benefit"] == 0
+
+    def test_nomad_transactions_and_shadows(self):
+        stats = _run_stats("nomad")
+        assert stats["commits"] > 0
+        # Shadow accounting never goes negative and stays within the
+        # slow tier (checked live by _shadow_pressure; here we at least
+        # see the mechanism used).
+        assert stats["shadow_bytes"] >= 0
+        assert stats["copy_free_demotions"] + stats["copied_demotions"] >= 0
+
+    def test_nomad_aborts_charge_but_do_not_move(self):
+        from conftest import make_context
+
+        policy = NomadPolicy()
+        ctx = make_context(with_sampler=True)
+        policy.bind(ctx)
+        space, migrator = ctx.space, ctx.migrator
+        region = space.alloc_region(2 * 1024 * 1024, thp=False,
+                                    tier_chooser=lambda n: 1)
+        vpn = int(region.base_vpn)
+        policy._pending.add(vpn)
+        policy._dirty[vpn] = True  # concurrent write raced the copy
+        before_bg = migrator.stats.background_ns
+        policy.on_tick(1e9)
+        assert policy.aborts == 1
+        assert int(space.page_tier[vpn]) == 1  # rolled back, never moved
+        assert migrator.stats.background_ns > before_bg  # bus time paid
+        assert migrator.stats.promoted_pages == 0
+
+    def test_hybridtier_sketch_is_bounded_and_deterministic(self):
+        policy = HybridTierPolicy(width=256, depth=4)
+        assert policy._sketch.shape == (4, 256)
+        heads = np.array([0, 512, 1024, 99840], dtype=np.int64)
+        b1 = policy._buckets(heads)
+        b2 = policy._buckets(heads)
+        assert np.array_equal(b1, b2)
+        assert b1.min() >= 0 and b1.max() < 256
+        with pytest.raises(ValueError):
+            HybridTierPolicy(width=100)  # not a power of two
+
+    def test_hybridtier_estimate_never_undercounts(self):
+        policy = HybridTierPolicy(width=256, depth=4)
+        heads = np.repeat(np.array([0, 512, 1024], dtype=np.int64), 5)
+        buckets = policy._buckets(heads)
+        for d in range(policy.depth):
+            np.add.at(policy._sketch[d], buckets[d], 1)
+        est = policy._estimate(np.array([0, 512, 1024], dtype=np.int64))
+        assert (est >= 5).all()
+
+    def test_arms_resets_on_phase_flip_not_stationary(self):
+        from repro.sim.machine import ScaleSpec
+
+        dense = ScaleSpec(
+            bytes_per_paper_gb=2 * 1024 * 1024,
+            accesses_per_paper_gb=100_000,
+            min_bytes=64 * 1024 * 1024,
+            min_accesses_per_page=100,
+        )
+        flip = _spec("arms", workload="phaseflip", ratio="1:2",
+                     scale=dense, max_accesses=None, seed=7)
+        flip_stats = _build(flip).run().policy_stats
+        stationary = _spec("arms", scale=dense, max_accesses=None, seed=7)
+        stat_stats = _build(stationary).run().policy_stats
+        assert flip_stats["phase_resets"] > 0
+        assert flip_stats["phase_resets"] > stat_stats["phase_resets"]
+
+
+# -- phaseflip workload sanity -------------------------------------------------
+
+
+class TestPhaseFlipWorkload:
+    def test_phases_touch_disjoint_hot_heads(self):
+        workload = make_workload("phaseflip", TEST_SCALE)
+        rng = np.random.default_rng(3)
+        events = list(workload.events(rng))
+        batches = [e for e in events if hasattr(e, "segments")]
+        assert sum(e.num_accesses for e in batches) == workload.total_accesses
+        phases = workload.flips + 1
+        per_phase = len(batches) // phases
+        first = np.concatenate(
+            [e.segments[0][1].vpn for e in batches[:per_phase]])
+        last = np.concatenate(
+            [e.segments[0][1].vpn for e in batches[-per_phase:]])
+        # The hottest page of each phase sits in a different window.
+        first_mode = np.bincount(first).argmax()
+        last_mode = np.bincount(last).argmax()
+        assert first_mode != last_mode
