@@ -22,8 +22,8 @@ from typing import Any, Dict, List, Optional
 from repro.obs.heartbeat import aggregate, display_state
 
 #: Render order for the header tallies (terminal states last).
-_STATE_ORDER = ("running", "retrying", "done", "cached", "resumed", "failed",
-                "unknown")
+_STATE_ORDER = ("running", "retrying", "stalled", "done", "cached", "resumed",
+                "failed", "unknown")
 
 
 def _humanize(value: Optional[float]) -> str:
@@ -93,13 +93,13 @@ def render_dashboard(manifest: Dict[str, Any], cells: List[Dict[str, Any]],
         pct = f"{fraction * 100:3.0f}%"
         bar = progress_bar(fraction)
         # A freshly (re)started cell reports a null rate/ETA until it has
-        # post-resume work to divide by; render both as unknown.
+        # post-resume work to divide by; render both as unknown.  A
+        # stalled cell's last-known rate would be a lie -- also unknown.
+        live = cell.get("state") == "running" and not cell.get("stalled")
         raw_rate = cell.get("accesses_per_sec")
         rate = (_humanize(raw_rate) + "/s"
-                if cell.get("state") == "running" and raw_rate is not None
-                else "-")
-        eta = _eta(cell.get("eta_s")) if cell.get("state") == "running" \
-            else "-"
+                if live and raw_rate is not None else "-")
+        eta = _eta(cell.get("eta_s")) if live else "-"
         lines.append(
             f"{label:<{label_w}}  {state:<8}  {bar} {pct}"
             f"  {int(cell.get('epoch') or 0):>5}  {rate:>8}  {eta:>6}"
@@ -107,4 +107,49 @@ def render_dashboard(manifest: Dict[str, Any], cells: List[Dict[str, Any]],
         error = cell.get("error")
         if state == "failed" and error:
             lines.append(f"{'':<{label_w}}  !! {str(error)[:width - label_w - 5]}")
+    return "\n".join(lines)
+
+
+#: Queue-state render order for the service header (live states first).
+_JOB_STATE_ORDER = ("queued", "running", "done", "cached", "failed")
+
+
+def render_service_dashboard(status: Dict[str, Any], width: int = 80) -> str:
+    """Dashboard for a ``repro.service`` directory (queue + workers + cells).
+
+    ``status`` is the dict from :func:`repro.service.server.build_status`:
+    two extra header lines (queue tallies with lease/attempt counters,
+    one entry per registered worker), then the ordinary heartbeat
+    dashboard over the service's cell heartbeats.
+    """
+    jobs = status.get("jobs", {})
+    totals = status.get("totals", {})
+    total_jobs = sum(jobs.values())
+    tallies = " ".join(
+        f"{jobs[state]} {state}"
+        for state in _JOB_STATE_ORDER if jobs.get(state)
+    ) or "empty queue"
+    lines = [
+        f"service: {total_jobs} jobs | {tallies}"
+        f" | claims {totals.get('claims', 0)}"
+        f" attempts {totals.get('attempts', 0)}"
+        f" expirations {totals.get('expirations', 0)}"
+        f" resumed {totals.get('resumed', 0)}",
+    ]
+    workers = status.get("workers", [])
+    if workers:
+        parts = []
+        for worker in workers:
+            entry = f"{worker.get('worker_id', '?')} {worker.get('state', '?')}"
+            key = worker.get("current_key")
+            if worker.get("state") == "running" and key:
+                entry += f" [{str(key)[:8]}]"
+            parts.append(entry)
+        lines.append(f"workers: {len(workers)} | " + " | ".join(parts))
+    else:
+        lines.append("workers: none registered")
+    lines.append("")
+    lines.append(render_dashboard(status.get("manifest", {}) or {},
+                                  status.get("heartbeats", []) or [],
+                                  width=width))
     return "\n".join(lines)

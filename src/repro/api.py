@@ -42,7 +42,16 @@ from repro.sim.runner import (
     run_experiment,
     run_normalized,
 )
-from repro.sim.sweep import CellOutcome, run_sweep
+from repro.service import (
+    EnqueueReport,
+    Job,
+    JobQueue,
+    Worker,
+    build_status,
+    start_server,
+    worker_main,
+)
+from repro.sim.sweep import CellOutcome, execute_cell, run_sweep
 from repro.workloads.registry import make_workload, workload_names
 
 __all__ = [
@@ -68,7 +77,16 @@ __all__ = [
     "SimResult",
     "RunSpec",
     "run_sweep",
+    "execute_cell",
     "CellOutcome",
+    # sweep service
+    "JobQueue",
+    "Job",
+    "EnqueueReport",
+    "Worker",
+    "worker_main",
+    "build_status",
+    "start_server",
     "run_experiment",
     "run_baseline",
     "run_normalized",

@@ -17,7 +17,12 @@ Commands:
 * ``top``      -- live ASCII dashboard over a sweep's heartbeat
                   directory (``run --heartbeat DIR``); ``--snapshot``
                   prints one frame for CI logs, ``--openmetrics`` emits
-                  the exposition-format text instead.
+                  the exposition-format text instead; ``--stale-after``
+                  detects crashed sweeps (exit code 3);
+* ``service``  -- persistent sweep service: ``submit`` enqueues RunSpec
+                  batches into a SQLite job queue, ``start`` runs
+                  pull-based worker processes (plus an optional HTTP
+                  status API), ``status``/``drain`` inspect and wait.
 
 The per-figure regenerators live under ``python -m repro.experiments``.
 """
@@ -296,26 +301,37 @@ def cmd_top(args) -> int:
     import time as _time
 
     from repro.analysis.top import render_dashboard
-    from repro.obs.heartbeat import read_heartbeats
+    from repro.obs.heartbeat import mark_stalled, read_heartbeats, sweep_stalled
     from repro.obs.openmetrics import sweep_exposition
 
-    def frame() -> str:
+    def read_marked():
         manifest, cells = read_heartbeats(args.dir)
+        mark_stalled(cells, args.stale_after)
+        return manifest, cells
+
+    def frame(manifest, cells) -> str:
         if args.openmetrics:
             return sweep_exposition(cells, manifest=manifest)
         return render_dashboard(manifest, cells, width=args.width)
 
     try:
         if args.snapshot or args.openmetrics:
-            print(frame())
+            print(frame(*read_marked()))
             return 0
         while True:
+            manifest, cells = read_marked()
             # ANSI clear + home: a cheap full-screen refresh.
-            sys.stdout.write("\x1b[2J\x1b[H" + frame() + "\n")
+            sys.stdout.write("\x1b[2J\x1b[H" + frame(manifest, cells) + "\n")
             sys.stdout.flush()
-            manifest, _ = read_heartbeats(args.dir)
             if manifest.get("finished_at"):
                 return 0
+            if sweep_stalled(manifest, cells, args.stale_after):
+                print(
+                    f"sweep stalled: no heartbeat in {args.stale_after:.0f}s "
+                    "and no finished_at stamp (crashed parent?)",
+                    file=sys.stderr,
+                )
+                return 3
             _time.sleep(max(args.interval, 0.1))
     except KeyboardInterrupt:
         return 0
@@ -326,6 +342,144 @@ def cmd_top(args) -> int:
         except BrokenPipeError:
             pass
         return 0
+
+
+def _service_specs(args):
+    """Build the RunSpec batch for ``service submit``."""
+    import itertools
+    import json as _json
+
+    specs = []
+    if args.specs:
+        with open(args.specs) as fh:
+            for entry in _json.load(fh):
+                specs.append(RunSpec.from_dict(entry))
+    scale = _scale(args)
+    kind = "cxl" if args.cxl else "nvm"
+    for workload, policy, ratio, seed in itertools.product(
+        args.workloads, args.policies, args.ratios, args.seeds
+    ):
+        specs.append(RunSpec(
+            workload, policy, ratio=ratio, capacity_kind=kind, scale=scale,
+            seed=seed, max_accesses=args.max_accesses,
+            snapshot_every=args.snapshot_every,
+        ))
+    if args.with_baselines:
+        specs.extend([spec.baseline_spec() for spec in list(specs)])
+    return specs
+
+
+def cmd_service(args) -> int:
+    """``repro service submit|start|status|drain DIR``."""
+    import json as _json
+    import time as _time
+
+    from repro.service import (
+        JobQueue,
+        build_status,
+        queue_path,
+        write_service_manifest,
+    )
+
+    if args.action == "submit":
+        specs = _service_specs(args)
+        if not specs:
+            print("service submit: nothing to enqueue (pass --workloads/"
+                  "--policies or --specs FILE)", file=sys.stderr)
+            return 2
+        with JobQueue(queue_path(args.dir)) as queue:
+            report = queue.enqueue(specs, max_attempts=args.max_attempts)
+            # A submit that only deduped/cache-hit leaves the queue
+            # drained -- keep the manifest stamped finished so `repro
+            # top` still exits on it.
+            write_service_manifest(queue, args.dir, finished=queue.drained())
+            counts = queue.counts()
+        print(f"submitted {report.total} specs to {args.dir}: "
+              f"{report.queued} queued, {report.cached} cached, "
+              f"{report.deduped} deduplicated, {report.requeued} requeued")
+        print("queue: " + ", ".join(
+            f"{n} {state}" for state, n in counts.items() if n))
+        return 0
+
+    if not os.path.exists(queue_path(args.dir)):
+        print(f"service: no queue at {queue_path(args.dir)} "
+              "(run `service submit` first)", file=sys.stderr)
+        return 2
+
+    if args.action == "start":
+        import multiprocessing
+
+        from repro.service import start_server, worker_main
+
+        server = None
+        if args.port is not None:
+            server, _thread = start_server(args.dir, host=args.host,
+                                           port=args.port)
+            host, port = server.server_address[:2]
+            print(f"status API: http://{host}:{port}/ "
+                  f"(/status /metrics /ascii)")
+        ctx = multiprocessing.get_context()
+        procs = [
+            ctx.Process(
+                target=worker_main, args=(args.dir,),
+                kwargs=dict(lease_s=args.lease, poll_s=args.poll,
+                            drain=args.drain),
+                daemon=False,
+            )
+            for _ in range(max(1, args.workers))
+        ]
+        for proc in procs:
+            proc.start()
+        print(f"started {len(procs)} worker(s) on {args.dir} "
+              f"(lease {args.lease:.0f}s"
+              + (", drain-and-exit)" if args.drain else ")"))
+        try:
+            for proc in procs:
+                proc.join()
+        except KeyboardInterrupt:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                proc.join()
+        finally:
+            if server is not None:
+                server.shutdown()
+        with JobQueue(queue_path(args.dir)) as queue:
+            drained = queue.drained()
+            counts = queue.counts()
+            write_service_manifest(queue, args.dir, finished=drained)
+        print("queue: " + ", ".join(
+            f"{n} {state}" for state, n in counts.items() if n))
+        return 1 if counts.get("failed") else 0
+
+    if args.action == "status":
+        status = build_status(args.dir, stale_after=args.stale_after)
+        if args.json:
+            print(_json.dumps(status, indent=2, sort_keys=True))
+        else:
+            from repro.analysis.top import render_service_dashboard
+
+            print(render_service_dashboard(status, width=args.width))
+        return 1 if status["jobs"].get("failed") else 0
+
+    if args.action == "drain":
+        deadline = (_time.time() + args.timeout
+                    if args.timeout is not None else None)
+        while True:
+            with JobQueue(queue_path(args.dir)) as queue:
+                if queue.drained():
+                    counts = queue.counts()
+                    write_service_manifest(queue, args.dir, finished=True)
+                    print("drained: " + ", ".join(
+                        f"{n} {state}" for state, n in counts.items() if n))
+                    return 1 if counts.get("failed") else 0
+            if deadline is not None and _time.time() > deadline:
+                print(f"drain: queue still live after {args.timeout:.0f}s",
+                      file=sys.stderr)
+                return 2
+            _time.sleep(max(args.poll, 0.05))
+
+    raise AssertionError(f"unknown service action {args.action!r}")
 
 
 def main(argv=None) -> int:
@@ -457,7 +611,88 @@ def main(argv=None) -> int:
                        help="refresh period in live mode (default: 2s)")
     p_top.add_argument("--width", type=int, default=80,
                        help="dashboard width in columns (default: 80)")
+    p_top.add_argument("--stale-after", type=float, default=300.0,
+                       metavar="S",
+                       help="mark cells with no heartbeat for S seconds as "
+                            "stalled; the live loop exits 3 once the whole "
+                            "sweep has gone quiet without finishing "
+                            "(default: 300; 0 disables)")
     p_top.set_defaults(fn=cmd_top)
+
+    p_service = sub.add_parser(
+        "service",
+        help="persistent sweep service: job queue + pull-based workers",
+    )
+    svc = p_service.add_subparsers(dest="action", required=True)
+
+    p_submit = svc.add_parser("submit", help="enqueue a RunSpec batch")
+    p_submit.add_argument("dir", help="service directory (queue + heartbeats)")
+    p_submit.add_argument("--workloads", nargs="+", default=[],
+                          choices=workload_names(), metavar="W")
+    p_submit.add_argument("--policies", nargs="+", default=[],
+                          choices=policy_names(), metavar="P")
+    p_submit.add_argument("--ratios", nargs="+", default=["1:8"],
+                          choices=["1:2", "1:8", "1:16", "2:1"], metavar="R")
+    p_submit.add_argument("--seeds", nargs="+", type=int, default=[42],
+                          metavar="N")
+    p_submit.add_argument("--cxl", action="store_true",
+                          help="CXL capacity tier instead of NVM")
+    p_submit.add_argument("--quick", action="store_true")
+    p_submit.add_argument("--max-accesses", type=int, default=None,
+                          metavar="N")
+    p_submit.add_argument("--snapshot-every", type=int, default=1,
+                          metavar="N",
+                          help="checkpoint every N epochs so preempted jobs "
+                               "resume instead of recomputing (default: 1; "
+                               "0 disables)")
+    p_submit.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                          help="genuine failures before a job is marked "
+                               "failed (lease expirations never count)")
+    p_submit.add_argument("--specs", metavar="FILE",
+                          help="also enqueue a JSON list of RunSpec dicts")
+    p_submit.add_argument("--with-baselines", action="store_true",
+                          help="also enqueue each spec's all-capacity "
+                               "baseline (deduplicated)")
+    p_submit.set_defaults(fn=cmd_service)
+
+    p_start = svc.add_parser(
+        "start", help="run worker processes (and optionally the status API)"
+    )
+    p_start.add_argument("dir")
+    p_start.add_argument("--workers", type=int, default=2, metavar="N")
+    p_start.add_argument("--lease", type=float, default=30.0, metavar="S",
+                         help="claim lease; a killed worker's job re-queues "
+                              "after at most this long (default: 30s)")
+    p_start.add_argument("--poll", type=float, default=0.5, metavar="S",
+                         help="idle poll period (default: 0.5s)")
+    p_start.add_argument("--drain", action="store_true",
+                         help="exit once the queue holds no live jobs "
+                              "(default: keep serving new submissions)")
+    p_start.add_argument("--port", type=int, default=None, metavar="PORT",
+                         help="also serve the HTTP status API "
+                              "(0 = ephemeral port; default: no HTTP)")
+    p_start.add_argument("--host", default="127.0.0.1")
+    p_start.set_defaults(fn=cmd_service)
+
+    p_status = svc.add_parser("status", help="one-shot queue/worker/cell view")
+    p_status.add_argument("dir")
+    p_status.add_argument("--json", action="store_true",
+                          help="machine-readable dump instead of the "
+                               "dashboard")
+    p_status.add_argument("--width", type=int, default=80)
+    p_status.add_argument("--stale-after", type=float, default=300.0,
+                          metavar="S",
+                          help="mark quiet cells stalled (default: 300; "
+                               "0 disables)")
+    p_status.set_defaults(fn=cmd_service)
+
+    p_drain = svc.add_parser(
+        "drain", help="wait until the queue holds no live jobs"
+    )
+    p_drain.add_argument("dir")
+    p_drain.add_argument("--timeout", type=float, default=None, metavar="S")
+    p_drain.add_argument("--poll", type=float, default=0.5, metavar="S")
+    p_drain.set_defaults(fn=cmd_service)
 
     args = parser.parse_args(argv)
     if not getattr(args, "fn", None):

@@ -22,6 +22,9 @@ Cell status schema (all fields JSON scalars)::
     {"schema": 1, "key": "0f3a...", "label": "silo memtis 1:8",
      "workload": "silo", "policy": "memtis", "seed": 42, "pid": 1234,
      "state": "running",          # running|done|failed|cached|retrying
+     "seq": 18,                   # monotonic write counter for this cell
+                                  # (continues across attempts; guards the
+                                  # parent's read-merge-write stamps)
      "resumed": false,            # true when this attempt restored a
                                   # checkpoint (rates are post-resume)
      "epoch": 17, "accesses": 8500000, "target_accesses": 20000000,
@@ -56,22 +59,121 @@ SCHEMA = 1
 HEARTBEAT_SUFFIX = ".hb.json"
 MANIFEST_NAME = "sweep.json"
 
+#: Cell states that will never change again on their own.
+TERMINAL_STATES = ("done", "failed", "cached")
+
+
+@dataclass
+class HeartbeatStats:
+    """Module-wide write-path error tally (mirrors ``CacheStats.errors``)."""
+
+    errors: int = 0
+
+
+#: Process-wide error counter for the heartbeat write paths: serialization
+#: failures and failed commits both land here (the temp file is always
+#: cleaned up regardless).
+STATS = HeartbeatStats()
+
+
+def _dump_to_temp(directory: str, payload: Dict[str, Any]) -> str:
+    """Serialise ``payload`` into a temp file in ``directory``.
+
+    Returns the temp path on success.  On any failure the fd is closed
+    and the temp file unlinked in a ``finally`` (a raising ``json.dump``
+    must not leak ``.tmp`` litter into a long-lived heartbeat
+    directory), and the error is counted in :data:`STATS`.
+    """
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    fh = None
+    ok = False
+    try:
+        fh = os.fdopen(fd, "w")
+        json.dump(payload, fh)
+        fh.close()
+        ok = True
+        return tmp
+    finally:
+        if fh is None:
+            os.close(fd)  # os.fdopen itself failed: the fd is still ours
+        elif not fh.closed:
+            fh.close()
+        if not ok:
+            STATS.errors += 1
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
 
 def _write_atomic(path: str, payload: Dict[str, Any]) -> None:
     """Write ``payload`` as JSON such that readers never see a torn file."""
     directory = os.path.dirname(path) or "."
     os.makedirs(directory, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    tmp = _dump_to_temp(directory, payload)
     try:
-        with os.fdopen(fd, "w") as fh:
-            json.dump(payload, fh)
         os.replace(tmp, path)
     except BaseException:
+        STATS.errors += 1
         try:
             os.unlink(tmp)
         except OSError:
             pass
         raise
+
+
+def _stat_token(path: str) -> Optional[Tuple[int, int]]:
+    """Identity token for the file currently at ``path`` (None if absent)."""
+    try:
+        st = os.stat(path)
+    except OSError:
+        return None
+    return (st.st_ino, st.st_mtime_ns)
+
+
+def _read_status(path: str) -> Tuple[Dict[str, Any], Optional[Tuple[int, int]]]:
+    """Read ``(payload, token)``; ``({}, None)`` on a missing/torn file.
+
+    The token identifies the exact file version the payload came from
+    (inode + mtime), so a later compare-and-replace can detect that a
+    concurrent writer's ``os.replace`` landed in between.
+    """
+    try:
+        with open(path) as fh:
+            st = os.fstat(fh.fileno())
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return {}, None
+    if not isinstance(payload, dict):
+        return {}, None
+    return payload, (st.st_ino, st.st_mtime_ns)
+
+
+def _replace_if_unchanged(
+    path: str, payload: Dict[str, Any], token: Optional[Tuple[int, int]]
+) -> bool:
+    """Atomically commit ``payload`` only if ``path`` still matches ``token``.
+
+    Returns False (leaving the file untouched, temp cleaned up) when the
+    file changed since it was read -- the caller re-reads and re-merges.
+    The check-then-replace window is a few microseconds, versus the full
+    read-merge-write span it replaces.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    tmp = _dump_to_temp(directory, payload)
+    try:
+        if _stat_token(path) != token:
+            return False
+        os.replace(tmp, path)
+        tmp = None
+        return True
+    finally:
+        if tmp is not None:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
 
 @dataclass(frozen=True)
@@ -112,6 +214,11 @@ class HeartbeatWriter:
         self.started_at = time.time()
         self._last_write = 0.0
         self._last_status: Dict[str, Any] = {}
+        # Continue the cell's monotonic write counter across attempts: a
+        # resumed retry must not restart at 0 or the parent's seq guard
+        # would judge its fresh payloads older than the dead attempt's.
+        payload, _ = _read_status(self.path)
+        self._seq = int(payload.get("seq") or 0)
 
     def _base(self) -> Dict[str, Any]:
         return {
@@ -173,6 +280,8 @@ class HeartbeatWriter:
         return payload
 
     def write(self, payload: Dict[str, Any]) -> None:
+        self._seq += 1
+        payload["seq"] = self._seq
         _write_atomic(self.path, payload)
         self._last_write = time.time()
 
@@ -205,6 +314,11 @@ class HeartbeatWriter:
 # -- parent / reader side ------------------------------------------------------
 
 
+#: How many times a parent stamp re-merges against a racing worker
+#: before falling back to last-writer-wins on the freshest payload seen.
+_MERGE_RETRIES = 5
+
+
 def write_cell_status(config: HeartbeatConfig, spec, state: str,
                       **fields) -> None:
     """Parent-side status stamp: merge ``state`` + ``fields`` into the file.
@@ -212,28 +326,39 @@ def write_cell_status(config: HeartbeatConfig, spec, state: str,
     Used for states only the sweep driver knows about (``cached``,
     ``retrying``, final attempt counts).  Existing worker-written fields
     are preserved.
+
+    The merge is guarded against the worker's atomic ``os.replace``:
+    every payload carries a monotonic ``seq``, the file version read is
+    fingerprinted (inode + mtime), and the commit goes through
+    :func:`_replace_if_unchanged` -- if a fresher worker write landed
+    between read and commit, the stale merge is discarded and rebuilt
+    from the new payload, so a parent stamp can never resurrect an old
+    epoch/progress/rate snapshot over a newer one.
     """
     path = config.cell_path(spec)
-    payload: Dict[str, Any] = {}
-    try:
-        with open(path) as fh:
-            payload = json.load(fh)
-    except (OSError, ValueError):
-        pass
-    if not payload:
-        payload = {
-            "schema": SCHEMA,
-            "key": spec.cache_key()[:16],
-            "label": spec.label(),
-            "workload": spec.workload,
-            "policy": spec.policy,
-            "seed": spec.seed,
-            "started_at": time.time(),
-        }
-    payload["state"] = state
-    payload["updated_at"] = time.time()
-    payload.update(fields)
-    _write_atomic(path, payload)
+    merged: Dict[str, Any] = {}
+    for _ in range(_MERGE_RETRIES):
+        payload, token = _read_status(path)
+        if not payload:
+            payload = {
+                "schema": SCHEMA,
+                "key": spec.cache_key()[:16],
+                "label": spec.label(),
+                "workload": spec.workload,
+                "policy": spec.policy,
+                "seed": spec.seed,
+                "started_at": time.time(),
+            }
+        merged = dict(payload)
+        merged["state"] = state
+        merged["updated_at"] = time.time()
+        merged.update(fields)
+        merged["seq"] = int(payload.get("seq") or 0) + 1
+        if _replace_if_unchanged(path, merged, token):
+            return
+    # A live worker out-wrote every retry; each loop re-read its fresher
+    # payload, so this final merge carries the newest state observed.
+    _write_atomic(path, merged)
 
 
 def write_manifest(config: HeartbeatConfig, specs,
@@ -284,13 +409,71 @@ def read_heartbeats(directory: str
 
 
 def display_state(cell: Dict[str, Any]) -> str:
-    """Dashboard state for one cell: terminal states win, then resume."""
+    """Dashboard state for one cell: terminal states win, then stall,
+    then resume."""
     state = str(cell.get("state", "unknown"))
     if state in ("failed", "cached"):
         return state
+    if cell.get("stalled") and state not in TERMINAL_STATES:
+        return "stalled"
     if cell.get("resumed"):
         return "resumed"
     return state
+
+
+def mark_stalled(cells: List[Dict[str, Any]], stale_after: float,
+                 now: Optional[float] = None) -> int:
+    """Flag non-terminal cells whose heartbeat went quiet; returns count.
+
+    A cell claiming ``running``/``retrying`` whose file has not been
+    rewritten in ``stale_after`` seconds almost certainly belongs to a
+    dead worker (live ones rewrite at least every throttle interval) --
+    ``display_state`` renders it ``stalled`` instead of trusting the
+    stale claim.  ``stale_after <= 0`` disables the detector.  Mutates
+    the cell dicts in place.
+    """
+    if stale_after <= 0:
+        return 0
+    now = time.time() if now is None else now
+    stalled = 0
+    for cell in cells:
+        if str(cell.get("state", "unknown")) in TERMINAL_STATES:
+            continue
+        updated = cell.get("updated_at") or cell.get("started_at")
+        if updated is not None and (now - float(updated)) > stale_after:
+            cell["stalled"] = True
+            stalled += 1
+    return stalled
+
+
+def sweep_stalled(manifest: Dict[str, Any], cells: List[Dict[str, Any]],
+                  stale_after: float, now: Optional[float] = None) -> bool:
+    """True when the sweep can no longer make progress (crashed parent).
+
+    Call :func:`mark_stalled` on ``cells`` first.  The sweep counts as
+    stalled when the manifest never gained ``finished_at``, no
+    non-terminal cell is still live, and the newest write anywhere in
+    the directory is older than ``stale_after`` -- i.e. everything has
+    gone quiet without the parent's final stamp.  ``repro top`` uses
+    this to exit non-zero instead of polling a dead sweep forever.
+    """
+    if stale_after <= 0:
+        return False
+    now = time.time() if now is None else now
+    if manifest.get("finished_at"):
+        return False
+    for cell in cells:
+        state = str(cell.get("state", "unknown"))
+        if state not in TERMINAL_STATES and not cell.get("stalled"):
+            return False  # something is (plausibly) still working
+    newest = max(
+        (float(c.get("updated_at") or c.get("started_at") or 0.0)
+         for c in cells),
+        default=float(manifest.get("started_at") or 0.0),
+    )
+    if newest <= 0.0:
+        return False  # nothing to judge staleness from yet
+    return (now - newest) > stale_after
 
 
 def aggregate(cells: List[Dict[str, Any]]) -> Dict[str, Any]:
@@ -301,7 +484,7 @@ def aggregate(cells: List[Dict[str, Any]]) -> Dict[str, Any]:
     violations = 0
     for cell in cells:
         states[display_state(cell)] = states.get(display_state(cell), 0) + 1
-        if cell.get("state") == "running":
+        if cell.get("state") == "running" and not cell.get("stalled"):
             throughput += float(cell.get("accesses_per_sec") or 0.0)
         accesses += int(cell.get("accesses") or 0)
         violations += int(cell.get("violations") or 0)

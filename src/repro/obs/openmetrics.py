@@ -80,10 +80,9 @@ class _Family:
         )
 
 
-def sweep_exposition(cells: List[Dict[str, Any]],
-                     manifest: Optional[Dict[str, Any]] = None) -> str:
-    """Render heartbeat cells as an OpenMetrics exposition document."""
-    out: List[str] = []
+def _sweep_families(out: List[str], cells: List[Dict[str, Any]],
+                    manifest: Optional[Dict[str, Any]] = None) -> None:
+    """Append the per-sweep/per-cell families (no ``# EOF``)."""
     agg = aggregate(cells)
     total = len((manifest or {}).get("cells", [])) or agg["cells"]
 
@@ -121,6 +120,49 @@ def sweep_exposition(cells: List[Dict[str, Any]],
     for cell in cells:
         resumed.sample(1 if cell.get("resumed") else 0, cell_labels(cell))
 
+
+def sweep_exposition(cells: List[Dict[str, Any]],
+                     manifest: Optional[Dict[str, Any]] = None) -> str:
+    """Render heartbeat cells as an OpenMetrics exposition document."""
+    out: List[str] = []
+    _sweep_families(out, cells, manifest)
+    out.append("# EOF")
+    return "\n".join(out) + "\n"
+
+
+def service_exposition(status: Dict[str, Any]) -> str:
+    """Render a service ``build_status`` snapshot as OpenMetrics text.
+
+    Queue and worker families first (job states, lease/attempt/expiry
+    counters), then the same per-cell heartbeat families a plain sweep
+    exposes -- one scrape covers both layers.
+    """
+    out: List[str] = []
+    jobs = _Family("repro_service_jobs", "gauge", out)
+    for state in sorted(status.get("jobs", {})):
+        jobs.sample(status["jobs"][state], {"state": state})
+    workers = status.get("workers", [])
+    by_state: Dict[str, int] = {}
+    for worker in workers:
+        state = str(worker.get("state", "unknown"))
+        by_state[state] = by_state.get(state, 0) + 1
+    wfam = _Family("repro_service_workers", "gauge", out)
+    wfam.sample(len(workers), {"state": "all"})
+    for state in sorted(by_state):
+        wfam.sample(by_state[state], {"state": state})
+    totals = status.get("totals", {})
+    _Family("repro_service_claims", "counter", out).sample(
+        totals.get("claims", 0))
+    _Family("repro_service_attempts", "counter", out).sample(
+        totals.get("attempts", 0))
+    _Family("repro_service_lease_expirations", "counter", out).sample(
+        totals.get("expirations", 0))
+    _Family("repro_service_resumed_jobs", "gauge", out).sample(
+        totals.get("resumed", 0))
+    _Family("repro_service_drained", "gauge", out).sample(
+        1 if status.get("drained") else 0)
+    _sweep_families(out, status.get("heartbeats", []),
+                    manifest=status.get("manifest"))
     out.append("# EOF")
     return "\n".join(out) + "\n"
 

@@ -1,0 +1,69 @@
+"""``repro.service``: a persistent sweep service over the RunSpec substrate.
+
+One ``run_grid``/:func:`~repro.sim.sweep.run_sweep` invocation on one
+machine cannot hold the evaluation matrices the ROADMAP calls for
+(policy x machine x workload grids in the thousands of cells).  This
+package turns sweeps into a *service*:
+
+* :mod:`repro.service.queue` -- a SQLite-backed job queue.  ``enqueue``
+  accepts RunSpec batches, dedups by ``cache_key()`` and skips cells the
+  persistent :mod:`repro.sim.cache` already holds; workers *pull* jobs
+  under lease-based claims, so a worker that is ``kill -9``-ed simply
+  lets its lease expire and the job re-queues.
+* :mod:`repro.service.worker` -- the pull-based worker loop.  Cells with
+  ``snapshot_every > 0`` resume from their last epoch checkpoint on
+  reclaim, so preemption costs only the uncheckpointed tail; results
+  stream into the shared :class:`~repro.sim.cache.ResultCache` *before*
+  the queue transition (the cache write is the commit point -- a death
+  between the two is recovered as a cache hit on reclaim, never as a
+  recompute, so effective results are exactly-once).
+* :mod:`repro.service.server` -- a stdlib ``http.server`` status API:
+  queue/worker/cell state as JSON (``/status``), OpenMetrics
+  (``/metrics``), and HTML/ASCII dashboards (``/``, ``/ascii``) built on
+  :mod:`repro.analysis.top`.
+
+CLI: ``python -m repro service submit|start|status|drain DIR``.
+"""
+
+from repro.service.queue import (
+    CACHED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    EnqueueReport,
+    Job,
+    JobQueue,
+    heartbeat_dir,
+    queue_path,
+    write_service_manifest,
+)
+from repro.service.server import build_status, start_server
+from repro.service.worker import (
+    DEFAULT_LEASE_S,
+    LeaseLost,
+    Worker,
+    WorkerStats,
+    worker_main,
+)
+
+__all__ = [
+    "JobQueue",
+    "Job",
+    "EnqueueReport",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CACHED",
+    "queue_path",
+    "heartbeat_dir",
+    "write_service_manifest",
+    "Worker",
+    "WorkerStats",
+    "worker_main",
+    "LeaseLost",
+    "DEFAULT_LEASE_S",
+    "build_status",
+    "start_server",
+]

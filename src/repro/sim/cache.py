@@ -72,11 +72,17 @@ class ResultCache:
         """Return the cached result for ``spec``, or ``None`` on a miss.
 
         A corrupt or unreadable entry counts as a miss and is removed so
-        the slot can be rewritten cleanly.
+        the slot can be rewritten cleanly -- but only if the path still
+        refers to the exact file we read.  A concurrent ``put`` may have
+        ``os.replace``\\ d a fresh entry over the corrupt one between our
+        read and the unlink; deleting blindly would discard that good
+        entry.
         """
         path = self._path(spec.cache_key())
+        st = None
         try:
             with open(path, "rb") as fh:
+                st = os.fstat(fh.fileno())
                 entry = pickle.load(fh)
             result = entry["result"]
         except FileNotFoundError:
@@ -85,13 +91,34 @@ class ResultCache:
         except Exception:
             self.stats.errors += 1
             self.stats.misses += 1
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            self._remove_corrupt(path, st)
             return None
         self.stats.hits += 1
         return result
+
+    def _remove_corrupt(self, path: str, st: Optional[os.stat_result]) -> bool:
+        """Unlink ``path`` unless it no longer matches the stat we read.
+
+        ``st`` is the fstat of the file handle the corrupt bytes came
+        from (None if the open itself failed).  If the directory entry's
+        identity (inode, mtime_ns, size) has changed, a concurrent
+        writer replaced the entry -- leave the new file alone.
+        """
+        if st is None:
+            return False
+        try:
+            cur = os.stat(path)
+        except OSError:
+            return False  # already gone
+        if (cur.st_ino, cur.st_mtime_ns, cur.st_size) != (
+            st.st_ino, st.st_mtime_ns, st.st_size
+        ):
+            return False  # replaced by a fresh entry; keep it
+        try:
+            os.unlink(path)
+            return True
+        except OSError:
+            return False
 
     def put(self, spec: "RunSpec", result: "SimResult") -> str:
         """Store ``result`` under ``spec``'s key; returns the entry path."""

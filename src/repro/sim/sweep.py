@@ -195,9 +195,22 @@ def _emit(progress: Optional[ProgressFn], event: SweepEvent) -> None:
 # -- execution ----------------------------------------------------------------
 
 
-def _run_cell(
+def resume_variant(spec: RunSpec) -> RunSpec:
+    """The spec to execute when continuing a failed/killed attempt.
+
+    A checkpointing spec (``snapshot_every > 0``) continues with
+    ``resume=True`` -- it restores the prior attempt's last epoch
+    checkpoint instead of recomputing finished epochs.  Anything else
+    simply re-runs from scratch.  The variant shares the original's
+    cache key, so outcomes/cache entries stay keyed consistently.
+    """
+    return spec.replace(resume=True) if spec.snapshot_every > 0 else spec
+
+
+def execute_cell(
     spec: RunSpec, trace: Optional[TraceConfig] = None,
     heartbeat: Optional[HeartbeatConfig] = None,
+    epoch_hook: Optional[Callable] = None,
 ) -> Tuple[bool, Optional[SimResult], Optional[str]]:
     """Execute one spec; never raises for ordinary cell errors.
 
@@ -207,10 +220,15 @@ def _run_cell(
     before returning (tracing never changes simulation results).  With
     ``heartbeat``, the cell streams its status into the heartbeat
     directory per epoch and stamps a terminal ``done``/``failed`` state.
+    An extra ``epoch_hook`` (e.g. the service worker's lease renewal)
+    is chained after the heartbeat's own hook.
 
     Only :class:`Exception` is converted into a failed-cell tuple;
     ``KeyboardInterrupt``/``SystemExit`` propagate so Ctrl-C cancels a
     sweep instead of burning retries on every in-flight cell.
+
+    This is the single execution path shared by :func:`run_sweep`
+    workers and the ``repro.service`` queue workers.
     """
     hb = None
     if heartbeat is not None:
@@ -225,11 +243,21 @@ def _run_cell(
                 level=trace.level, events=trace.categories,
                 capacity=trace.capacity,
             )
-        # Pass epoch_hook only when heartbeating: out-of-tree execute()
+        hook = epoch_hook
+        if hb is not None:
+            if hook is None:
+                hook = hb.on_epoch
+            else:
+                extra = hook
+
+                def hook(snapshot, _hb_hook=hb.on_epoch, _extra=extra):
+                    _hb_hook(snapshot)
+                    _extra(snapshot)
+        # Pass epoch_hook only when needed: out-of-tree execute()
         # wrappers predating the kwarg keep working on plain sweeps.
         result = (
-            spec.execute(obs=obs, epoch_hook=hb.on_epoch)
-            if hb is not None else spec.execute(obs=obs)
+            spec.execute(obs=obs, epoch_hook=hook)
+            if hook is not None else spec.execute(obs=obs)
         )
         if trace is not None:
             _export_cell_trace(trace, spec, obs, result)
@@ -241,6 +269,11 @@ def _run_cell(
         if hb is not None:
             hb.finish("failed", error=error)
         return False, None, error
+
+
+#: Back-compat alias -- tests and out-of-tree callers monkeypatch
+#: ``sweep._run_cell``; ``_execute_batch`` resolves it at call time.
+_run_cell = execute_cell
 
 
 def _execute_batch(
@@ -372,11 +405,7 @@ def run_sweep(
                     )
                 _emit(progress, SweepEvent("done", spec, completed, total))
             elif attempts[spec] <= retries:
-                retry = (
-                    run_spec.replace(resume=True)
-                    if run_spec.snapshot_every > 0 else run_spec
-                )
-                work.append((spec, retry))
+                work.append((spec, resume_variant(run_spec)))
                 if heartbeat is not None:
                     write_cell_status(
                         heartbeat, spec, "retrying", attempts=attempts[spec],

@@ -14,13 +14,16 @@ import re
 import pytest
 
 from repro.cli import main as cli_main
+from repro.obs import heartbeat
 from repro.obs.heartbeat import (
     HEARTBEAT_SUFFIX,
     HeartbeatConfig,
     HeartbeatWriter,
     aggregate,
     display_state,
+    mark_stalled,
     read_heartbeats,
+    sweep_stalled,
     write_cell_status,
     write_manifest,
 )
@@ -170,6 +173,254 @@ class TestZeroProgressGuards:
         agg = aggregate(cells)
         assert agg["running_accesses_per_sec"] == 10.0
         assert agg["total_accesses"] == 12
+
+
+class TestWriteRaces:
+    """Satellite regressions: the parent's read-merge-write stamp vs the
+    worker's atomic ``os.replace``, and temp-file hygiene when the write
+    path itself fails."""
+
+    def test_parent_stamp_never_resurrects_stale_payload(
+        self, tmp_path, monkeypatch
+    ):
+        """Two-writer race: the parent reads the heartbeat, then a fresher
+        worker write lands *before* the parent commits its merge.  The
+        guarded merge must re-read and preserve the worker's newer epoch
+        instead of resurrecting the stale snapshot it first saw."""
+        config = HeartbeatConfig(str(tmp_path), min_interval_s=0.0)
+        spec = _spec()
+        writer = HeartbeatWriter(config, spec)
+        writer.write(dict(writer._base(), state="running", epoch=3,
+                          progress=0.1, updated_at=1.0))
+        stale_payload, stale_token = heartbeat._read_status(
+            config.cell_path(spec))
+
+        real_read = heartbeat._read_status
+        raced = {"n": 0}
+
+        def delayed_read(path):
+            payload, token = real_read(path)
+            if raced["n"] == 0:
+                raced["n"] += 1
+                # The worker's os.replace lands between the parent's
+                # read and its commit: epoch advanced 3 -> 9.
+                writer.write(dict(writer._base(), state="running", epoch=9,
+                                  progress=0.8, updated_at=2.0))
+                return payload, token
+            return real_read(path)
+
+        monkeypatch.setattr(heartbeat, "_read_status", delayed_read)
+        write_cell_status(config, spec, "retrying", attempts=1)
+
+        final, _ = real_read(config.cell_path(spec))
+        # The parent's stamp landed ...
+        assert final["state"] == "retrying" and final["attempts"] == 1
+        # ... on top of the *fresh* worker payload, not the stale one.
+        assert final["epoch"] == 9 and final["progress"] == 0.8
+        assert final["seq"] > stale_payload["seq"] + 1
+
+    def test_unguarded_merge_would_have_lost_the_race(self, tmp_path):
+        """Documents the bug shape: committing a merge built from a stale
+        read over a newer file is exactly what ``_replace_if_unchanged``
+        refuses to do."""
+        config = HeartbeatConfig(str(tmp_path), min_interval_s=0.0)
+        spec = _spec()
+        path = config.cell_path(spec)
+        writer = HeartbeatWriter(config, spec)
+        writer.write(dict(writer._base(), state="running", epoch=3))
+        stale_payload, stale_token = heartbeat._read_status(path)
+        writer.write(dict(writer._base(), state="running", epoch=9))
+        merged = dict(stale_payload, state="retrying")
+        assert not heartbeat._replace_if_unchanged(path, merged, stale_token)
+        fresh, _ = heartbeat._read_status(path)
+        assert fresh["epoch"] == 9  # untouched
+        assert not [
+            name for name in os.listdir(str(tmp_path))
+            if name.endswith(".tmp")
+        ]
+
+    def test_seq_continues_across_attempts(self, tmp_path):
+        config = HeartbeatConfig(str(tmp_path), min_interval_s=0.0)
+        spec = _spec()
+        first = HeartbeatWriter(config, spec)
+        first.write(dict(first._base(), state="running", epoch=5))
+        seq_before = json.load(open(config.cell_path(spec)))["seq"]
+        # A resumed retry constructs a brand-new writer; its writes must
+        # not restart the counter at 1 or the parent guard would judge
+        # them older than the dead attempt's.
+        second = HeartbeatWriter(config, spec, resumed=True)
+        second.write(dict(second._base(), state="running", epoch=6))
+        assert json.load(open(config.cell_path(spec)))["seq"] > seq_before
+
+    def test_write_atomic_cleans_temp_and_counts_error(self, tmp_path):
+        hb_dir = str(tmp_path / "hb")
+        target = os.path.join(hb_dir, "cell.hb.json")
+        errors_before = heartbeat.STATS.errors
+        with pytest.raises(TypeError):
+            heartbeat._write_atomic(target, {"bad": {1, 2, 3}})  # not JSON
+        assert heartbeat.STATS.errors == errors_before + 1
+        assert not os.path.exists(target)
+        assert os.listdir(hb_dir) == []  # no .tmp litter
+
+    def test_write_atomic_success_leaves_no_litter(self, tmp_path):
+        hb_dir = str(tmp_path / "hb")
+        heartbeat._write_atomic(os.path.join(hb_dir, "cell.hb.json"),
+                                {"ok": 1})
+        assert sorted(os.listdir(hb_dir)) == ["cell.hb.json"]
+
+
+class TestCacheCorruptEntryGuard:
+    """Satellite regression: ``ResultCache.get`` must not unlink an entry
+    a concurrent writer just rewrote."""
+
+    def _cache_and_spec(self, tmp_path):
+        from repro.sim.cache import ResultCache
+
+        return ResultCache(str(tmp_path / "cache")), _spec()
+
+    def test_corrupt_entry_removed_and_counted(self, tmp_path):
+        cache, spec = self._cache_and_spec(tmp_path)
+        path = cache._path(spec.cache_key())
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle")
+        assert cache.get(spec) is None
+        assert cache.stats.errors == 1 and cache.stats.misses == 1
+        assert not os.path.exists(path)  # stable corruption is removed
+
+    def test_replaced_entry_survives_corrupt_unlink(
+        self, tmp_path, monkeypatch
+    ):
+        """Reader loads corrupt bytes; before it unlinks, a writer's
+        ``os.replace`` lands a good entry at the same path.  The guarded
+        unlink must notice the file changed and leave it alone."""
+        import pickle
+
+        cache, spec = self._cache_and_spec(tmp_path)
+        path = cache._path(spec.cache_key())
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle")
+
+        real_load = pickle.load
+
+        def load_then_replace(fh):
+            # Concurrent writer wins the race while we hold corrupt bytes.
+            with open(path + ".new", "wb") as nf:
+                pickle.dump({"spec": spec.to_dict(), "result": "fresh"}, nf)
+            os.replace(path + ".new", path)
+            return real_load(fh)
+
+        monkeypatch.setattr(pickle, "load", load_then_replace)
+        assert cache.get(spec) is None  # this read still misses
+        monkeypatch.setattr(pickle, "load", real_load)
+        assert os.path.exists(path), "fresh entry must not be deleted"
+        assert cache.get(spec) == "fresh"
+
+    def test_remove_corrupt_is_noop_without_stat(self, tmp_path):
+        cache, spec = self._cache_and_spec(tmp_path)
+        assert cache._remove_corrupt(cache._path(spec.cache_key()), None) \
+            is False
+
+
+# -- stall detection -----------------------------------------------------------
+
+
+def _stalled_dir(tmp_path, *, finished=False, states=("running", "running")):
+    """A heartbeat directory whose cells all went quiet long ago."""
+    hb_dir = str(tmp_path / "hb")
+    config = HeartbeatConfig(hb_dir, min_interval_s=0.0)
+    specs = [_spec(seed=100 + i) for i in range(len(states))]
+    for spec, state in zip(specs, states):
+        write_cell_status(config, spec, state,
+                          progress=0.4, epoch=7, accesses_per_sec=1e5)
+        # Backdate the write: json surgery, not time travel.
+        path = config.cell_path(spec)
+        payload = json.load(open(path))
+        payload["updated_at"] = payload["started_at"] = 1.0
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+    write_manifest(config, specs, started_at=1.0,
+                   finished_at=2.0 if finished else None)
+    return hb_dir, config, specs
+
+
+class TestStallDetection:
+    def test_mark_stalled_flags_quiet_nonterminal_cells(self):
+        cells = [
+            {"state": "running", "updated_at": 10.0},
+            {"state": "retrying", "updated_at": 10.0},
+            {"state": "done", "updated_at": 10.0},      # terminal: never
+            {"state": "running", "updated_at": 95.0},   # recent: live
+        ]
+        assert mark_stalled(cells, stale_after=30.0, now=100.0) == 2
+        assert [c.get("stalled", False) for c in cells] == \
+            [True, True, False, False]
+        assert display_state(cells[0]) == "stalled"
+        assert display_state(cells[2]) == "done"
+
+    def test_mark_stalled_disabled(self):
+        cells = [{"state": "running", "updated_at": 1.0}]
+        assert mark_stalled(cells, stale_after=0.0, now=100.0) == 0
+        assert "stalled" not in cells[0]
+
+    def test_stalled_cell_excluded_from_throughput(self):
+        cells = [
+            {"state": "running", "accesses_per_sec": 10.0},
+            {"state": "running", "accesses_per_sec": 99.0, "stalled": True},
+        ]
+        agg = aggregate(cells)
+        assert agg["running_accesses_per_sec"] == 10.0
+        assert agg["states"] == {"running": 1, "stalled": 1}
+
+    def test_sweep_stalled_requires_everything_quiet(self):
+        manifest = {"started_at": 1.0}
+        # One live cell -> not stalled, however old the others are.
+        cells = [{"state": "running", "updated_at": 1.0, "stalled": True},
+                 {"state": "running", "updated_at": 99.0}]
+        assert not sweep_stalled(manifest, cells, 30.0, now=100.0)
+        # All quiet + unfinished manifest -> stalled.
+        cells = [{"state": "running", "updated_at": 1.0, "stalled": True},
+                 {"state": "done", "updated_at": 2.0}]
+        assert sweep_stalled(manifest, cells, 30.0, now=100.0)
+        # Finished manifest -> never stalled.
+        assert not sweep_stalled({"finished_at": 3.0}, cells, 30.0, now=100.0)
+        # Detector disabled -> never stalled.
+        assert not sweep_stalled(manifest, cells, 0.0, now=100.0)
+
+    def test_dashboard_renders_stalled(self, tmp_path):
+        hb_dir, _, _ = _stalled_dir(tmp_path)
+        manifest, cells = read_heartbeats(hb_dir)
+        mark_stalled(cells, stale_after=1.0)
+        art = render_dashboard(manifest, cells)
+        assert "stalled" in art
+        # A stalled cell's last-known rate would be a lie: rendered "-".
+        row = [line for line in art.splitlines() if "stalled" in line][0]
+        assert "100.0k/s" not in row
+
+    def test_cli_top_live_loop_exits_3_on_stalled_sweep(
+        self, tmp_path, capsys
+    ):
+        hb_dir, _, _ = _stalled_dir(tmp_path)
+        rc = cli_main(["top", hb_dir, "--stale-after", "1",
+                       "--interval", "0.1"])
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "stalled" in err
+
+    def test_cli_top_live_loop_exits_0_on_finished_sweep(
+        self, tmp_path, capsys
+    ):
+        hb_dir, _, _ = _stalled_dir(tmp_path, finished=True,
+                                    states=("done", "done"))
+        assert cli_main(["top", hb_dir, "--stale-after", "1",
+                         "--interval", "0.1"]) == 0
+
+    def test_cli_top_snapshot_shows_stalled(self, tmp_path, capsys):
+        hb_dir, _, _ = _stalled_dir(tmp_path)
+        assert cli_main(["top", hb_dir, "--snapshot",
+                         "--stale-after", "1"]) == 0
+        assert "stalled" in capsys.readouterr().out
 
 
 def test_progress_bar_shapes():

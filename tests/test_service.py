@@ -1,0 +1,454 @@
+"""The sweep service: job queue, lease protocol, workers, HTTP API, chaos.
+
+Acceptance scenario (``TestServiceChaos``): two worker processes drain a
+queue while one of them is SIGKILL-ed mid-job.  No cell may be lost or
+duplicated -- every enqueued RunSpec must end ``done`` exactly once, the
+killed job must record a lease expiration (not a burned attempt) and a
+resumed continuation, and every cached result must be bit-identical to a
+serial execution of the same spec.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+import urllib.request
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs.heartbeat import read_heartbeats
+from repro.service import (
+    CACHED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobQueue,
+    Worker,
+    build_status,
+    heartbeat_dir,
+    queue_path,
+    start_server,
+    worker_main,
+    write_service_manifest,
+)
+from repro.service.worker import _LeaseRenewer, LeaseLost
+from repro.sim import cache as result_cache
+from repro.sim.runner import RunSpec
+
+from conftest import MEDIUM_SCALE, TEST_SCALE
+from test_heartbeat_top import _validate_openmetrics
+
+
+def _spec(**overrides):
+    base = dict(
+        workload="silo", policy="memtis", ratio="1:8", seed=21,
+        max_accesses=60_000, scale=TEST_SCALE, snapshot_every=1,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+def _canon(result):
+    """Result dict minus host-timing fields (the only legit variance)."""
+    d = result.to_dict()
+    d.pop("wall_seconds")
+    d.pop("phase_ns")
+    return d
+
+
+# -- queue semantics -----------------------------------------------------------
+
+
+class TestJobQueue:
+    def test_enqueue_dedups_and_skips_cached(self, tmp_path):
+        d = str(tmp_path / "svc")
+        cached_spec = _spec(seed=31)
+        cached_spec.run()  # pre-populate the (tmp) result cache
+        fresh = [_spec(seed=s) for s in (32, 33)]
+        queue = JobQueue(queue_path(d))
+        report = queue.enqueue(fresh + [cached_spec, fresh[0]])
+        assert report.queued == 2 and report.cached == 1
+        assert report.deduped == 0  # in-batch duplicate collapses silently
+        assert queue.counts() == {QUEUED: 2, RUNNING: 0, DONE: 0,
+                                  FAILED: 0, CACHED: 1}
+        again = queue.enqueue(fresh)
+        assert again.queued == 0 and again.deduped == 2
+
+    def test_checked_spec_never_skips_via_cache(self, tmp_path):
+        spec = _spec(seed=34)
+        spec.run()
+        checked = spec.replace(check="end")
+        queue = JobQueue(queue_path(str(tmp_path / "svc")))
+        report = queue.enqueue([checked])
+        assert report.queued == 1 and report.cached == 0
+
+    def test_claim_lease_complete_lifecycle(self, tmp_path):
+        queue = JobQueue(queue_path(str(tmp_path / "svc")))
+        queue.enqueue([_spec(seed=35)], cache=None)
+        job = queue.claim("w1", lease_s=10.0, now=100.0)
+        assert job is not None and job.state == RUNNING
+        assert job.lease_owner == "w1" and job.claims == 1
+        assert job.lease_expires_at == 110.0
+        # Nothing else claimable while the lease holds.
+        assert queue.claim("w2", lease_s=10.0, now=105.0) is None
+        assert queue.renew(job.key, "w1", lease_s=10.0, now=108.0)
+        assert queue.complete(job.key, "w1", wall_s=1.5, now=109.0)
+        done = queue.job(job.key)
+        assert done.state == DONE and done.wall_s == 1.5
+        assert queue.drained()
+        # Duplicate completion no-ops.
+        assert not queue.complete(job.key, "w1", now=110.0)
+
+    def test_expired_lease_requeues_without_burning_attempts(self, tmp_path):
+        queue = JobQueue(queue_path(str(tmp_path / "svc")))
+        queue.enqueue([_spec(seed=36)], cache=None)
+        job = queue.claim("w1", lease_s=5.0, now=100.0)
+        # w1 dies; after expiry any claim pass re-queues and re-claims.
+        reclaimed = queue.claim("w2", lease_s=5.0, now=106.0)
+        assert reclaimed is not None and reclaimed.key == job.key
+        assert reclaimed.lease_owner == "w2"
+        assert reclaimed.expirations == 1 and reclaimed.attempts == 0
+        assert reclaimed.claims == 2
+        # The dead owner's renewals and fail() verdicts are rejected.
+        assert not queue.renew(job.key, "w1", lease_s=5.0, now=107.0)
+        assert not queue.fail(job.key, "w1", "late verdict", now=107.0)
+
+    def test_fail_burns_attempts_until_failed(self, tmp_path):
+        queue = JobQueue(queue_path(str(tmp_path / "svc")))
+        queue.enqueue([_spec(seed=37)], cache=None, max_attempts=2)
+        job = queue.claim("w1", lease_s=5.0, now=100.0)
+        assert queue.fail(job.key, "w1", "boom", now=101.0)
+        assert queue.job(job.key).state == QUEUED  # one attempt left
+        job = queue.claim("w1", lease_s=5.0, now=102.0)
+        assert queue.fail(job.key, "w1", "boom again", now=103.0)
+        final = queue.job(job.key)
+        assert final.state == FAILED and final.attempts == 2
+        assert final.error == "boom again"
+        assert queue.drained()
+        # Re-submitting a failed spec grants a fresh budget.
+        report = queue.enqueue([_spec(seed=37)], cache=None)
+        assert report.requeued == 1
+        assert queue.job(job.key).state == QUEUED
+        assert queue.job(job.key).attempts == 0
+
+    def test_usurped_completion_first_wins(self, tmp_path):
+        queue = JobQueue(queue_path(str(tmp_path / "svc")))
+        queue.enqueue([_spec(seed=38)], cache=None)
+        job = queue.claim("w1", lease_s=5.0, now=100.0)
+        queue.claim("w2", lease_s=5.0, now=106.0)  # usurps after expiry
+        # Results are deterministic: whoever completes first wins, the
+        # other is a no-op -- never a duplicate or a state regression.
+        assert queue.complete(job.key, "w1", now=107.0)
+        assert not queue.complete(job.key, "w2", now=108.0)
+        assert queue.job(job.key).state == DONE
+
+    def test_state_survives_reconnect(self, tmp_path):
+        path = queue_path(str(tmp_path / "svc"))
+        q1 = JobQueue(path)
+        q1.enqueue([_spec(seed=39)], cache=None)
+        q1.claim("w1", lease_s=5.0, now=100.0)
+        q1.close()
+        q2 = JobQueue(path)
+        jobs = q2.jobs()
+        assert len(jobs) == 1 and jobs[0].state == RUNNING
+        assert jobs[0].lease_owner == "w1"
+        assert jobs[0].spec() == _spec(seed=39)
+
+    def test_queue_sustains_thousands_of_cells(self, tmp_path):
+        """Enqueue scale check: thousands of rows, fast claims."""
+        queue = JobQueue(queue_path(str(tmp_path / "svc")))
+        specs = [_spec(seed=s, snapshot_every=0) for s in range(2000)]
+        report = queue.enqueue(specs, cache=None)
+        assert report.queued == 2000
+        assert queue.counts()[QUEUED] == 2000
+        seen = set()
+        for i in range(50):
+            job = queue.claim("w1", lease_s=60.0, now=100.0 + i)
+            assert job is not None and job.key not in seen
+            seen.add(job.key)
+            assert queue.complete(job.key, "w1", now=101.0 + i)
+        counts = queue.counts()
+        assert counts[DONE] == 50 and counts[QUEUED] == 1950
+
+
+class TestLeaseRenewer:
+    def test_renews_on_cadence_and_raises_when_usurped(self, tmp_path):
+        queue = JobQueue(queue_path(str(tmp_path / "svc")))
+        queue.enqueue([_spec(seed=40)], cache=None)
+        job = queue.claim("w1", lease_s=0.05, now=time.time())
+        renewer = _LeaseRenewer(queue, job.key, "w1", lease_s=0.05)
+        renewer._last_renew = 0.0  # force the throttle open
+        renewer(sim=None)  # live lease: renews fine
+        queue.claim("w2", lease_s=60.0, now=time.time() + 10.0)  # usurp
+        renewer._last_renew = 0.0
+        with pytest.raises(LeaseLost):
+            renewer(sim=None)
+
+
+# -- worker loop ---------------------------------------------------------------
+
+
+class TestWorker:
+    def test_drain_executes_everything(self, tmp_path):
+        d = str(tmp_path / "svc")
+        specs = [_spec(seed=s) for s in (41, 42)]
+        queue = JobQueue(queue_path(d))
+        queue.enqueue(specs)
+        stats = Worker(d, lease_s=30.0, poll_s=0.05, drain=True).run()
+        assert stats.executed == 2 and stats.failures == 0
+        assert queue.counts()[DONE] == 2 and queue.drained()
+        # Results landed in the shared cache, bit-identical to serial.
+        cache = result_cache.resolve_cache(result_cache.DEFAULT)
+        for spec in specs:
+            assert _canon(cache.get(spec)) == _canon(spec.execute())
+        # Heartbeats streamed into the service's hb dir.
+        _, cells = read_heartbeats(heartbeat_dir(d))
+        assert sorted(c["state"] for c in cells) == ["done", "done"]
+
+    def test_commit_point_recovery_completes_from_cache(self, tmp_path):
+        """A previous owner died after cache.put but before complete():
+        the reclaiming worker must recover the result, not recompute."""
+        d = str(tmp_path / "svc")
+        spec = _spec(seed=43)
+        queue = JobQueue(queue_path(d))
+        queue.enqueue([spec])
+        # Simulate the dead owner: claim, publish the result, vanish.
+        dead = queue.claim("dead", lease_s=0.01, now=time.time() - 10.0)
+        assert dead is not None
+        result_cache.resolve_cache(result_cache.DEFAULT).put(
+            spec, spec.execute())
+        executed = {"n": 0}
+        worker = Worker(d, lease_s=30.0, poll_s=0.05, drain=True)
+        real_process = worker._process
+
+        def counting_process(job):
+            executed["n"] += 1
+            real_process(job)
+
+        worker._process = counting_process
+        stats = worker.run()
+        assert stats.recovered == 1 and stats.executed == 0
+        job = queue.jobs()[0]
+        assert job.state == DONE and job.expirations == 1
+        assert job.resumed, "continuation accounting must mark resumed"
+        assert executed["n"] == 1  # processed once, computed zero times
+
+    def test_failed_job_exhausts_attempts(self, tmp_path):
+        d = str(tmp_path / "svc")
+        bad = _spec(seed=44, policy_kwargs={"no_such_option": True})
+        queue = JobQueue(queue_path(d))
+        queue.enqueue([bad], max_attempts=2)
+        stats = Worker(d, lease_s=30.0, poll_s=0.05, drain=True).run()
+        assert stats.failures == 2
+        job = queue.jobs()[0]
+        assert job.state == FAILED and job.attempts == 2
+        assert "no_such_option" in (job.error or "")
+        _, cells = read_heartbeats(heartbeat_dir(d))
+        assert cells and cells[0]["state"] == "failed"
+
+
+# -- HTTP status API -----------------------------------------------------------
+
+
+class TestServer:
+    @pytest.fixture
+    def service_dir(self, tmp_path):
+        d = str(tmp_path / "svc")
+        queue = JobQueue(queue_path(d))
+        queue.enqueue([_spec(seed=51), _spec(seed=52)])
+        write_service_manifest(queue, d)
+        Worker(d, lease_s=30.0, poll_s=0.05, drain=True).run()
+        return d
+
+    @pytest.fixture
+    def served(self, service_dir):
+        server, thread = start_server(service_dir, port=0)
+        port = server.server_address[1]
+        yield f"http://127.0.0.1:{port}"
+        server.shutdown()
+
+    def _get(self, url):
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, resp.headers.get("Content-Type", ""), \
+                resp.read().decode()
+
+    def test_healthz(self, served):
+        status, _, body = self._get(served + "/healthz")
+        assert status == 200 and body.strip() == "ok"
+
+    def test_status_json(self, served):
+        status, ctype, body = self._get(served + "/status")
+        assert status == 200 and ctype.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["jobs"]["done"] == 2 and payload["drained"]
+        assert len(payload["cells"]) == 2
+        assert len(payload["heartbeats"]) == 2
+
+    def test_metrics_grammar(self, served):
+        status, ctype, body = self._get(served + "/metrics")
+        assert status == 200 and "openmetrics" in ctype
+        _validate_openmetrics(body)
+        assert 'repro_service_jobs{state="done"} 2' in body
+        assert "repro_service_claims_total 2" in body
+
+    def test_dashboards(self, served):
+        status, _, body = self._get(served + "/ascii")
+        assert status == 200 and "service: 2 jobs" in body
+        status, ctype, body = self._get(served + "/")
+        assert status == 200 and ctype.startswith("text/html")
+        assert "service: 2 jobs" in body
+
+    def test_unknown_path_404(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(served + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_build_status_shape(self, service_dir):
+        status = build_status(service_dir)
+        assert status["drained"] is True
+        assert status["totals"]["claims"] == 2
+        assert {c["state"] for c in status["cells"]} == {"done"}
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+class TestServiceCli:
+    def test_submit_start_status_drain_roundtrip(self, tmp_path, capsys):
+        d = str(tmp_path / "svc")
+        spec_file = str(tmp_path / "specs.json")
+        with open(spec_file, "w") as fh:
+            json.dump([_spec(seed=s).to_dict() for s in (61, 62)], fh)
+        assert cli_main(["service", "submit", d, "--specs", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 queued" in out
+        # Dedup on resubmission.
+        assert cli_main(["service", "submit", d, "--specs", spec_file]) == 0
+        assert "2 deduplicated" in capsys.readouterr().out
+        assert cli_main(["service", "start", d, "--workers", "2",
+                         "--drain", "--poll", "0.05"]) == 0
+        assert "2 done" in capsys.readouterr().out
+        assert cli_main(["service", "status", d]) == 0
+        out = capsys.readouterr().out
+        assert "service: 2 jobs" in out and "2 done" in out
+        assert cli_main(["service", "drain", d, "--timeout", "5"]) == 0
+        assert "drained" in capsys.readouterr().out
+        assert cli_main(["service", "status", d, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"]["done"] == 2
+
+    def test_status_without_queue_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nothing")
+        assert cli_main(["service", "status", missing]) == 2
+        assert "no queue" in capsys.readouterr().err
+        assert not os.path.exists(queue_path(missing))
+
+    def test_submit_nothing_exits_2(self, tmp_path, capsys):
+        assert cli_main(["service", "submit", str(tmp_path / "svc")]) == 2
+        assert "nothing to enqueue" in capsys.readouterr().err
+
+
+# -- chaos: SIGKILL a worker mid-epoch -----------------------------------------
+
+
+def _await(predicate, timeout_s=60.0, poll_s=0.02):
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(poll_s)
+    return None
+
+
+@pytest.mark.slow
+class TestServiceChaos:
+    def test_sigkill_loses_nothing(self, tmp_path):
+        """2 workers, 6 cells, SIGKILL one worker mid-job: every cell ends
+        done exactly once, the killed job resumes from its checkpoint,
+        and all results are bit-identical to serial execution."""
+        d = str(tmp_path / "svc")
+        # MEDIUM_SCALE cells run ~1s each: long enough to SIGKILL one
+        # mid-epoch after it has demonstrably checkpointed.
+        specs = [
+            _spec(workload=w, policy=p, seed=s, max_accesses=None,
+                  scale=MEDIUM_SCALE)
+            for (w, p), s in zip(
+                [("silo", "memtis"), ("silo", "tiering-0.8"),
+                 ("graph500", "memtis"), ("silo", "memtis-ns"),
+                 ("graph500", "tiering-0.8"), ("silo", "autonuma")],
+                (71, 72, 73, 74, 75, 76),
+            )
+        ]
+        serial = {spec.cache_key(): _canon(spec.execute()) for spec in specs}
+
+        queue = JobQueue(queue_path(d))
+        report = queue.enqueue(specs)
+        assert report.queued == len(specs)
+
+        ctx = multiprocessing.get_context("fork")
+        lease_s = 1.5
+
+        def spawn(worker_id):
+            proc = ctx.Process(
+                target=worker_main, args=(d,),
+                kwargs=dict(worker_id=worker_id, lease_s=lease_s,
+                            poll_s=0.05, drain=True),
+            )
+            proc.start()
+            return proc
+
+        victim = spawn("victim")
+        survivor = spawn("survivor")
+
+        # Kill the victim once it owns a job that has checkpointed (so
+        # the continuation demonstrably resumes instead of recomputing).
+        def victim_job_checkpointed():
+            q = JobQueue(queue_path(d))
+            try:
+                for job in q.jobs(RUNNING):
+                    if job.lease_owner != "victim":
+                        continue
+                    _, cells = read_heartbeats(heartbeat_dir(d))
+                    for cell in cells:
+                        if cell.get("key") == job.key[:16] and \
+                                cell.get("last_checkpoint_epoch") is not None:
+                            return job.key
+                return None
+            finally:
+                q.close()
+
+        killed_key = _await(victim_job_checkpointed, timeout_s=60.0)
+        assert killed_key is not None, "victim never checkpointed a job"
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=30)
+
+        # The survivor alone must drain the rest (reclaiming the killed
+        # job after its lease expires).
+        survivor.join(timeout=120)
+        assert survivor.exitcode == 0
+        victim.join(timeout=5)
+
+        queue = JobQueue(queue_path(d))
+        jobs = queue.jobs()
+        assert len(jobs) == len(specs), "no job lost or duplicated"
+        assert all(job.state == DONE for job in jobs), \
+            [(j.label, j.state, j.error) for j in jobs]
+
+        killed = queue.job(killed_key)
+        assert killed.expirations >= 1, "kill must surface as a lease loss"
+        assert killed.attempts == 0, "a kill is not a burned attempt"
+        assert killed.claims >= 2 and killed.resumed
+
+        # Exactly-once, bit-identical results.
+        cache = result_cache.resolve_cache(result_cache.DEFAULT)
+        for spec in specs:
+            cached = cache.get(spec)
+            assert cached is not None
+            assert _canon(cached) == serial[spec.cache_key()], spec.label()
+
+        # The status CLI agrees and exits clean.
+        assert cli_main(["service", "status", d]) == 0
